@@ -1,0 +1,81 @@
+"""Ablation (Section 3.2.4): constraint-group placement strategies.
+
+The paper implemented two alternatives and measured: (a) keep each
+constraint group whole on one node and expand the NT import region;
+(b) replicate the integration of straddling groups on every node that
+holds one of their atoms.  "The former approach afforded significantly
+better performance due to both a reduced computational workload and
+much simpler (and faster) bookkeeping."
+
+This bench quantifies both costs on a decomposed water system: the
+single-owner expansion adds a thin shell to the import region, while
+replication duplicates integration (and SHAKE) work for every
+straddling group.
+"""
+
+import numpy as np
+
+from repro.core import MDParams, minimize_energy
+from repro.geometry import nt_import_volume
+from repro.parallel import SpatialDecomposition, TorusTopology
+from repro.systems import build_water_box
+
+
+def measure(n_molecules=200, nodes_per_dim=2, cutoff=5.0):
+    system = build_water_box(n_molecules=n_molecules, seed=3)
+    minimize_energy(system, MDParams(cutoff=cutoff, mesh=(32, 32, 32)), max_steps=30)
+    topo = TorusTopology.cubic(nodes_per_dim)
+    decomp = SpatialDecomposition(system.box, topo)
+
+    owners_geo = decomp.node_of(system.positions)
+    groups = system.topology.constraint_groups()
+    straddling = 0
+    replicated_atom_updates = 0
+    for g in groups:
+        nodes = np.unique(owners_geo[g])
+        if len(nodes) > 1:
+            straddling += 1
+            replicated_atom_updates += len(g) * (len(nodes) - 1)
+
+    margin = decomp.max_group_extent(system.positions, system.topology)
+    dims = tuple(decomp.node_box)
+    base_vol = nt_import_volume(dims, cutoff)
+    expanded_vol = nt_import_volume(dims, cutoff + margin)
+    rho = system.n_atoms / system.box.volume
+    extra_import_atoms = (expanded_vol - base_vol) * rho
+
+    total_constrained_atoms = sum(len(g) for g in groups)
+    return {
+        "n_groups": len(groups),
+        "straddling": straddling,
+        "replicated_atom_updates": replicated_atom_updates,
+        "total_constrained_atoms": total_constrained_atoms,
+        "margin_A": margin,
+        "extra_import_atoms_per_node": extra_import_atoms,
+        "base_import_atoms_per_node": base_vol * rho,
+    }
+
+
+def test_constraint_placement_ablation(benchmark, record_table):
+    out = benchmark.pedantic(measure, rounds=1, iterations=1)
+    frac_straddle = out["straddling"] / out["n_groups"]
+    frac_extra_import = out["extra_import_atoms_per_node"] / out["base_import_atoms_per_node"]
+    frac_replicated = out["replicated_atom_updates"] / out["total_constrained_atoms"]
+    record_table(
+        "ablation_constraints",
+        [
+            "Constraint-group placement ablation (water, 8 nodes)",
+            f"groups: {out['n_groups']}, straddling: {out['straddling']} ({frac_straddle:.0%})",
+            f"single-owner: import margin {out['margin_A']:.2f} A -> "
+            f"+{frac_extra_import:.0%} import volume",
+            f"replication: {out['replicated_atom_updates']} duplicated atom updates/step "
+            f"({frac_replicated:.0%} of constrained atoms)",
+        ],
+    )
+    # A nontrivial share of groups straddles boundaries (the problem is
+    # real), and the margin stays small — the group radius, ~1.5 A for
+    # water — so the single-owner expansion is cheap.
+    assert out["straddling"] > 0
+    assert out["margin_A"] < 2.0
+    # Replication duplicates a significant fraction of integration work.
+    assert frac_replicated > 0.05

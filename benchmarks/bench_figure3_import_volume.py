@@ -1,0 +1,77 @@
+"""Figure 3: import-region volumes of the parallelization methods.
+
+Regenerates the geometric comparison behind Figure 3a-c: the NT
+method's tower+half-plate import vs the traditional half-shell import
+vs the symmetric-plate spreading variant, across levels of parallelism
+(box side shrinking relative to the 13 A cutoff).  The paper's claim:
+the NT advantage "grows asymptotically as the level of parallelism
+increases."
+"""
+
+import pytest
+
+from repro.geometry import (
+    half_shell_import_volume,
+    nt_import_volume,
+    nt_spreading_import_volume,
+    voxel_region_volume,
+)
+
+CUTOFF = 13.0
+BOX_SIDES = (32.0, 16.0, 8.0, 4.0)  # increasing parallelism
+
+
+def build_table():
+    rows = []
+    for side in BOX_SIDES:
+        dims = (side, side, side)
+        rows.append(
+            (
+                side,
+                nt_import_volume(dims, CUTOFF),
+                half_shell_import_volume(dims, CUTOFF),
+                nt_spreading_import_volume(dims, CUTOFF),
+            )
+        )
+    return rows
+
+
+def test_figure3_import_volumes(benchmark, record_table):
+    rows = benchmark(build_table)
+
+    lines = [
+        "Figure 3: import-region volumes (A^3), 13 A cutoff",
+        f"{'box':>6} {'NT':>12} {'half-shell':>12} {'NT/HS':>7} {'spreading':>12}",
+    ]
+    for side, nt, hs, spread in rows:
+        lines.append(f"{side:5.0f}A {nt:12.0f} {hs:12.0f} {nt/hs:7.2f} {spread:12.0f}")
+    record_table("figure3_import_volume", lines)
+
+    # NT beats half-shell at every Anton-relevant box size...
+    for side, nt, hs, _spread in rows:
+        if side <= 16.0:
+            assert nt < hs
+    # ...and the advantage grows with parallelism.
+    ratios = [nt / hs for _s, nt, hs, _sp in rows]
+    assert ratios == sorted(ratios, reverse=True)
+    assert ratios[-1] < 0.45  # strong advantage at 4 A boxes
+
+    # The spreading variant needs a larger (symmetric) plate (Fig 3c).
+    for _side, nt, _hs, spread in rows:
+        assert spread > nt
+
+
+def test_figure3_analytic_matches_voxelization(benchmark, record_table):
+    """The analytic formulas agree with direct voxel counting."""
+    dims = (16.0, 16.0, 16.0)
+
+    def voxelize_all():
+        return {
+            m: voxel_region_volume(dims, CUTOFF, method=m, resolution=0.4)
+            for m in ("nt", "half_shell", "nt_spreading")
+        }
+
+    vox = benchmark.pedantic(voxelize_all, rounds=1, iterations=1)
+    assert nt_import_volume(dims, CUTOFF) == pytest.approx(vox["nt"], rel=0.04)
+    assert half_shell_import_volume(dims, CUTOFF) == pytest.approx(vox["half_shell"], rel=0.04)
+    assert nt_spreading_import_volume(dims, CUTOFF) == pytest.approx(vox["nt_spreading"], rel=0.04)

@@ -1,0 +1,116 @@
+"""Figure 4: datapath widths and function-evaluator accuracy.
+
+Figure 4 documents the HTIS's customized bit widths (19-22-bit
+function-evaluator datapaths, 8-bit match distance checks, 86-bit
+virial accumulators).  This bench quantifies the design point: table
+accuracy versus coefficient mantissa width and evaluation datapath
+width, plus the tiered-vs-uniform indexing ablation, for the actual
+production kernels (screened-Coulomb force, r^-14 dispersion).
+"""
+
+import numpy as np
+import pytest
+
+from repro.ewald import real_space_force_kernel
+from repro.functions import (
+    ANTON_ELECTROSTATIC_TIERS,
+    TieredTable,
+    uniform_tiers,
+)
+
+SIGMA = 2.944  # 13 A cutoff
+R2MAX = 13.0**2
+
+
+def elec_kernel(u):
+    return real_space_force_kernel(np.maximum(u, 0.004) * R2MAX, SIGMA)
+
+
+def accuracy_vs_width():
+    us = np.linspace(0.01, 0.999, 2000)
+    ref = elec_kernel(us)
+    scale = np.max(np.abs(ref))
+    rows = []
+    for bits in (8, 12, 16, 19, 22, 26):
+        table = TieredTable.build(
+            elec_kernel, tiers=ANTON_ELECTROSTATIC_TIERS, mantissa_bits=bits, u_floor=0.004
+        )
+        err_f = np.max(np.abs(table.evaluate(us) - ref)) / scale
+        err_hw = np.max(np.abs(table.evaluate_hardware(us, t_bits=bits, stage_bits=bits + 4) - ref)) / scale
+        rows.append((bits, err_f, err_hw))
+    return rows
+
+
+def test_figure4_accuracy_vs_bit_width(benchmark, record_table):
+    rows = benchmark.pedantic(accuracy_vs_width, rounds=1, iterations=1)
+    lines = [
+        "Figure 4: electrostatic force-table error vs datapath width",
+        f"{'bits':>5} {'coeff-quant error':>18} {'hardware-eval error':>20}",
+    ]
+    for bits, err_f, err_hw in rows:
+        lines.append(f"{bits:5d} {err_f:18.2e} {err_hw:20.2e}")
+    record_table("figure4_numerics", lines)
+
+    errs = [r[1] for r in rows]
+    assert all(e2 <= e1 * 1.05 for e1, e2 in zip(errs, errs[1:]))  # monotone
+    # At the production width (19-22 bits) the relative error supports
+    # the ~1e-5 numerical force errors of Table 4.
+    err_at_22 = dict((r[0], r[1]) for r in rows)[22]
+    assert err_at_22 < 3e-6
+    # Well below that width, accuracy collapses (why 8-bit suffices only
+    # for the match units' conservative distance check).
+    assert dict((r[0], r[1]) for r in rows)[8] > 1e-3
+
+
+def test_figure4_tiered_vs_uniform_ablation(benchmark, record_table):
+    """The tiered indexing ablation: same entry budget (240), the
+    tiers win decisively on rapidly varying kernels."""
+
+    def disp_kernel(u):  # r^-14-style dispersion force kernel
+        return 12.0 / (np.maximum(u, 0.02) * R2MAX) ** 7
+
+    us = np.linspace(0.021, 0.999, 3000)
+    ref = disp_kernel(us)
+    scale_ = np.max(np.abs(ref))
+    tiers = (
+        *(t for t in ANTON_ELECTROSTATIC_TIERS[:-1]),
+        ANTON_ELECTROSTATIC_TIERS[-1],
+    )
+    def build_both():
+        return (
+            TieredTable.build(disp_kernel, tiers=tiers, u_floor=0.02),
+            TieredTable.build(disp_kernel, tiers=uniform_tiers(240), u_floor=0.02),
+        )
+
+    tiered, uniform = benchmark.pedantic(build_both, rounds=1, iterations=1)
+    err_tiered = np.max(np.abs(tiered.evaluate(us) - ref)) / scale_
+    err_uniform = np.max(np.abs(uniform.evaluate(us) - ref)) / scale_
+    record_table(
+        "figure4_tiered_ablation",
+        [
+            "Tiered vs uniform indexing, 240 entries, r^-14 kernel",
+            f"tiered:  {err_tiered:.2e} (relative to kernel max)",
+            f"uniform: {err_uniform:.2e}",
+            f"advantage: {err_uniform / max(err_tiered, 1e-300):.0f}x",
+        ],
+    )
+    assert err_tiered < 0.05 * err_uniform
+
+
+def test_figure4_match_unit_low_precision_check(benchmark):
+    """8-bit distance checks (Figure 4b) are safe because they are
+    conservative: candidates are never falsely rejected when padded by
+    one quantization step."""
+    from repro.fixedpoint import FixedFormat
+
+    fmt = FixedFormat(8)
+    rng = np.random.default_rng(0)
+    r2 = rng.uniform(0, 1, 5000)  # normalized r^2
+    cutoff2 = 0.81
+    approx = benchmark(lambda: fmt.decode(fmt.encode_clip(r2)))
+    pad = fmt.resolution  # one LSB of conservatism
+    accepted = approx < cutoff2 + pad
+    required = r2 < cutoff2
+    assert not np.any(required & ~accepted)  # no false rejects
+    false_accepts = np.count_nonzero(accepted & ~required) / max(np.count_nonzero(accepted), 1)
+    assert false_accepts < 0.05  # cheap filter stays effective

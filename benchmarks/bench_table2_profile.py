@@ -1,0 +1,68 @@
+"""Table 2: execution-time profiles, x86 vs Anton, small-cutoff/fine-mesh
+vs large-cutoff/coarse-mesh (the co-design parameter tradeoff).
+
+The x86 small-cutoff column and the Anton large-cutoff column are
+calibration anchors; the opposite columns are model predictions.  The
+headline shape claims: the Anton parameterization slows the x86 by
+~2x but speeds Anton up by >2x.
+"""
+
+import pytest
+
+from repro.perf import PerformanceModel
+
+PAPER = {
+    # (platform, cutoff): [range_limited, fft, mesh, correction, bonded, integration, total]
+    ("x86", 9.0): [56.6, 12.3, 9.6, 4.0, 2.7, 3.4, 88.5],
+    ("x86", 13.0): [164.4, 1.4, 8.8, 3.8, 2.7, 3.4, 184.5],
+    ("anton", 9.0): [1.4, 24.7, 9.5, 2.5, 3.5, 1.6, 39.2],
+    ("anton", 13.0): [1.9, 8.9, 2.0, 2.5, 4.1, 1.6, 15.4],
+}
+
+
+def build_profiles(pm: PerformanceModel):
+    out = {}
+    for cutoff, mesh in ((9.0, 64), (13.0, 32)):
+        w = pm.dhfr_workload(cutoff, mesh)
+        out[("x86", cutoff)] = pm.x86_profile(w)
+        out[("anton", cutoff)] = (pm.anton_profile(w), pm.anton.total_step_us_single_rate(w))
+    return out
+
+
+def test_table2_reproduction(benchmark, record_table):
+    pm = PerformanceModel()
+    profiles = benchmark(build_profiles, pm)
+
+    lines = ["Table 2: DHFR per-time-step task profiles (model vs paper)"]
+    for (platform, cutoff), data in profiles.items():
+        unit = "ms" if platform == "x86" else "us"
+        if platform == "x86":
+            p, total = data, data.total
+        else:
+            p, total = data
+        paper = PAPER[(platform, cutoff)]
+        lines.append(f"-- {platform}, cutoff {cutoff} A ({unit})")
+        for (task, t, _frac), ref in zip(p.rows(), paper):
+            lines.append(f"   {task:<24} {t:8.1f}   paper {ref:8.1f}")
+        lines.append(f"   {'Total':<24} {total:8.1f}   paper {paper[-1]:8.1f}")
+    record_table("table2_profile", lines)
+
+    # Anchors round-trip; predictions within 10%.
+    x86_small = profiles[("x86", 9.0)]
+    assert x86_small.total == pytest.approx(88.5, rel=0.02)
+    x86_large = profiles[("x86", 13.0)]
+    assert x86_large.total == pytest.approx(184.5, rel=0.08)
+    anton_small_total = profiles[("anton", 9.0)][1]
+    anton_large_total = profiles[("anton", 13.0)][1]
+    assert anton_large_total == pytest.approx(15.4, rel=0.05)
+    assert anton_small_total == pytest.approx(39.2, rel=0.10)
+
+    # The co-design tradeoff.
+    assert 1.8 < x86_large.total / x86_small.total < 2.4      # ~2x slower on x86
+    assert anton_small_total / anton_large_total > 2.0        # >2x faster on Anton
+
+    # On x86, range-limited dominates (64% -> 89%); on Anton with its
+    # parameters the FFT chain does.
+    assert x86_large.range_limited / x86_large.total > 0.8
+    anton_large = profiles[("anton", 13.0)][0]
+    assert anton_large.fft > anton_large.range_limited

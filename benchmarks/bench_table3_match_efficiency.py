@@ -1,0 +1,80 @@
+"""Table 3: NT-method match efficiency vs box size and subbox division.
+
+Paper values (13 A cutoff):
+
+    box side   1x1x1   2x2x2   4x4x4
+    8 A          25%     40%     51%
+    16 A         12%     25%     40%
+    32 A          4%     12%     25%
+
+Note the diagonal structure (8 A with one subbox == 16 A with 2x2x2
+== 32 A with 4x4x4 — the subbox side is what matters), which the
+Monte-Carlo estimator must reproduce along with the magnitudes.
+"""
+
+import pytest
+
+from repro.parallel import match_efficiency
+
+PAPER = {
+    (8.0, 1): 0.25, (8.0, 2): 0.40, (8.0, 4): 0.51,
+    (16.0, 1): 0.12, (16.0, 2): 0.25, (16.0, 4): 0.40,
+    (32.0, 1): 0.04, (32.0, 2): 0.12, (32.0, 4): 0.25,
+}
+
+
+def build_table():
+    return {
+        (side, sub): match_efficiency(side, 13.0, sub, n_samples=4, seed=0)
+        for side in (8.0, 16.0, 32.0)
+        for sub in (1, 2, 4)
+    }
+
+
+def test_table3_reproduction(benchmark, record_table):
+    table = benchmark.pedantic(build_table, rounds=1, iterations=1)
+
+    lines = [
+        "Table 3: NT match efficiency, 13 A cutoff (measured / paper)",
+        f"{'box':>6} {'1x1x1':>14} {'2x2x2':>14} {'4x4x4':>14}",
+    ]
+    for side in (8.0, 16.0, 32.0):
+        cells = [
+            f"{table[(side, sub)]*100:5.0f}% /{PAPER[(side, sub)]*100:3.0f}%"
+            for sub in (1, 2, 4)
+        ]
+        lines.append(f"{side:5.0f}A {cells[0]:>14} {cells[1]:>14} {cells[2]:>14}")
+    record_table("table3_match_efficiency", lines)
+
+    # Magnitudes within a few points of the paper.
+    for key, ref in PAPER.items():
+        assert table[key] == pytest.approx(ref, abs=0.05), key
+
+    # Monotone in both directions.
+    for side in (8.0, 16.0, 32.0):
+        assert table[(side, 1)] < table[(side, 2)] < table[(side, 4)]
+    for sub in (1, 2, 4):
+        assert table[(32.0, sub)] < table[(16.0, sub)] < table[(8.0, sub)]
+
+    # The diagonal structure: only the subbox side matters.
+    assert table[(8.0, 1)] == pytest.approx(table[(16.0, 2)], abs=0.03)
+    assert table[(16.0, 2)] == pytest.approx(table[(32.0, 4)], abs=0.03)
+
+
+def test_subboxes_rescue_ppip_utilization(benchmark, record_table):
+    """Section 3.2.1: eight match units keep a PPIP fed only while
+    efficiency >= 25%; subboxes restore it for large boxes."""
+    from repro.machine import HTISModel
+
+    threshold = HTISModel().min_match_efficiency_for_full_utilization()
+    assert threshold == pytest.approx(0.25)
+    e_1, e_4 = benchmark.pedantic(
+        lambda: (
+            match_efficiency(32.0, 13.0, 1, n_samples=3),
+            match_efficiency(32.0, 13.0, 4, n_samples=3),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert e_1 < threshold  # starved without subboxes
+    assert e_4 >= threshold * 0.9  # rescued with 4x4x4

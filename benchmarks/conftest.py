@@ -1,0 +1,35 @@
+"""Shared fixtures for the benchmark/reproduction harness.
+
+Each bench regenerates one of the paper's tables or figures, asserts
+its shape claims, and writes the reproduced rows to
+``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can be audited
+against fresh runs.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def record_table(results_dir):
+    """Writer: record_table(name, lines) -> path (also echoes to stdout)."""
+
+    def _write(name: str, lines: list[str]) -> Path:
+        path = results_dir / f"{name}.txt"
+        text = "\n".join(lines) + "\n"
+        path.write_text(text)
+        print(f"\n=== {name} ===\n{text}")
+        return path
+
+    return _write

@@ -1,0 +1,69 @@
+"""N-H order parameters from two independent simulations (Figure 6).
+
+The paper compares S2 estimates of GB3 from an Anton run, a Desmond
+run, and NMR.  Here a synthetic peptide is simulated on the fixed-point
+("Anton") and float64 ("Desmond") paths — the same numerics contrast —
+and the per-residue order parameters are printed side by side.
+
+Run:  python examples/order_parameters.py
+"""
+
+import numpy as np
+
+from repro import (
+    BerendsenThermostat,
+    ChemicalSystem,
+    MDParams,
+    Simulation,
+    minimize_energy,
+    synthetic_protein,
+)
+from repro.analysis import kabsch_align, nh_vectors, order_parameters
+from repro.geometry import Box
+from repro.systems import standard_lj_table
+
+N_RESIDUES = 8
+PARAMS = MDParams(cutoff=9.0, mesh=(32, 32, 32))
+
+
+def run(system, mode, steps, seed):
+    s = system.copy()
+    s.initialize_velocities(300.0, seed=seed)
+    sim = Simulation(
+        s, PARAMS, dt=1.0, mode=mode, constraints=False,
+        thermostat=BerendsenThermostat(300.0, tau=500.0),
+    )
+    sim.run(steps, snapshot_every=15)
+    aligned = [kabsch_align(f, sim.snapshots[0]) for f in sim.snapshots]
+    n_idx = np.arange(N_RESIDUES) * 8
+    h_idx = n_idx + 1
+    return order_parameters(nh_vectors(aligned, n_idx, h_idx))
+
+
+def main() -> None:
+    frag = synthetic_protein(N_RESIDUES)
+    box = Box.cubic(42.0)
+    system = ChemicalSystem(
+        box=box,
+        positions=frag.positions - frag.positions.mean(axis=0) + box.lengths / 2,
+        masses=frag.masses,
+        charges=frag.charges,
+        type_ids=frag.type_ids,
+        lj=standard_lj_table(),
+        topology=frag.topology,
+    )
+    minimize_energy(system, PARAMS, max_steps=120)
+
+    print("simulating (fixed-point 'Anton' and float64 'Desmond' paths)...")
+    anton = run(system, "fixed", 1200, seed=11)
+    desmond = run(system, "float", 1200, seed=12)
+
+    print(f"\n{'residue':>8} {'S2 Anton':>10} {'S2 Desmond':>11}")
+    for r in range(N_RESIDUES):
+        print(f"{r:>8} {anton[r]:>10.3f} {desmond[r]:>11.3f}")
+    print(f"\nmean |difference|: {np.mean(np.abs(anton - desmond)):.3f} "
+          "(finite-sampling scatter of divergent chaotic trajectories)")
+
+
+if __name__ == "__main__":
+    main()

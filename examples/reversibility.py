@@ -1,0 +1,70 @@
+"""Exact time reversibility (the paper's Section 4 experiment).
+
+"We have run a simulation for 400 million time steps, negated the
+instantaneous velocities of all the atoms, and then run another 400
+million time steps, recovering the initial conditions bit-for-bit."
+
+Here: a Lennard-Jones system, a few hundred steps forward, negate,
+the same number back — and the initial integer state returns exactly.
+The float64 path, run through the same exercise, does not: that
+contrast is precisely why Anton uses fixed point.
+
+Run:  python examples/reversibility.py
+"""
+
+import numpy as np
+
+from repro import ChemicalSystem, MDParams, Simulation
+from repro.forcefield import LJTable, Topology
+from repro.geometry import Box
+
+
+def argon(n_side=4, temperature=120.0):
+    n = n_side**3
+    box = Box.cubic(n_side * 3.8 + 1.0)
+    grid = np.stack(np.meshgrid(*[np.arange(n_side)] * 3, indexing="ij"), -1).reshape(-1, 3)
+    system = ChemicalSystem(
+        box=box,
+        positions=grid * 3.8 + 1.0,
+        masses=np.full(n, 39.948),
+        charges=np.zeros(n),
+        type_ids=np.zeros(n, np.int64),
+        lj=LJTable([3.4], [0.238]),
+        topology=Topology(n),
+    )
+    system.initialize_velocities(temperature, seed=5)
+    return system
+
+
+def main() -> None:
+    params = MDParams(cutoff=7.0, mesh=(16, 16, 16))
+    steps = 200
+
+    # Fixed point: exact reversal.
+    sim = Simulation(argon(), params, dt=2.0, mode="fixed", constraints=False)
+    x0, v0 = sim.integrator.state_codes()
+    sim.run(steps)
+    sim.integrator.negate_velocities()
+    sim.run(steps)
+    sim.integrator.negate_velocities()
+    x1, v1 = sim.integrator.state_codes()
+    exact = np.array_equal(x0, x1) and np.array_equal(v0, v1)
+    print(f"fixed-point path, {steps} steps out and back: "
+          f"bit-for-bit recovery = {exact}")
+
+    # Float64: chaos amplifies rounding, bit-exact recovery fails.
+    simf = Simulation(argon(), params, dt=2.0, mode="float", constraints=False)
+    p0 = simf.integrator.positions.copy()
+    simf.run(steps)
+    simf.integrator.velocities *= -1.0
+    simf.run(steps)
+    err = float(np.max(np.abs(simf.integrator.positions - p0)))
+    bit_exact = bool(np.array_equal(simf.integrator.positions, p0))
+    print(f"float64 path, same exercise: bit-for-bit recovery = {bit_exact}, "
+          f"max position error = {err:.2e} A")
+    print("(the residual is seeded by non-associative float rounding and is "
+          "amplified exponentially by chaos on longer trajectories)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""repro — a functional reproduction of Anton's co-designed MD algorithms.
+
+Reproduces the algorithms and measured behaviours of *Millisecond-Scale
+Molecular Dynamics Simulations on Anton* (Shaw et al., SC 2009) as a
+pure-Python library: the NT method, Gaussian Split Ewald, fixed-point
+numerics (determinism, parallel invariance, exact reversibility),
+tiered PPIP function tables, the distributed FFT, and a functional
+whole-machine simulator with a calibrated performance model.
+
+Quick start::
+
+    from repro import build_water_box, MDParams, Simulation, minimize_energy
+
+    system = build_water_box(n_molecules=64)
+    params = MDParams(cutoff=5.5, mesh=(16, 16, 16))
+    minimize_energy(system, params)
+    system.initialize_velocities(300.0)
+    sim = Simulation(system, params, dt=1.0, mode="fixed")
+    sim.run(100, record_every=10)
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every reproduced table and figure.
+"""
+
+from repro.core import (
+    BerendsenBarostat,
+    BerendsenThermostat,
+    ChemicalSystem,
+    ConstraintSolver,
+    FixedPointConfig,
+    FixedPointIntegrator,
+    ForceCalculator,
+    MDParams,
+    Simulation,
+    VelocityVerlet,
+    compute_virial,
+    instantaneous_pressure,
+    minimize_energy,
+    run_npt,
+)
+from repro.machine import ANTON_2008, AntonHardware, AntonMachine
+from repro.perf import PerformanceModel
+from repro.systems import (
+    BPTI,
+    TABLE4_SYSTEMS,
+    benchmark_by_name,
+    build_hp_system,
+    build_solvated_protein,
+    build_water_box,
+    hp_miniprotein,
+    synthetic_protein,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "BerendsenBarostat",
+    "BerendsenThermostat",
+    "compute_virial",
+    "instantaneous_pressure",
+    "run_npt",
+    "ChemicalSystem",
+    "ConstraintSolver",
+    "FixedPointConfig",
+    "FixedPointIntegrator",
+    "ForceCalculator",
+    "MDParams",
+    "Simulation",
+    "VelocityVerlet",
+    "minimize_energy",
+    "ANTON_2008",
+    "AntonHardware",
+    "AntonMachine",
+    "PerformanceModel",
+    "BPTI",
+    "TABLE4_SYSTEMS",
+    "benchmark_by_name",
+    "build_hp_system",
+    "build_solvated_protein",
+    "build_water_box",
+    "hp_miniprotein",
+    "synthetic_protein",
+    "__version__",
+]

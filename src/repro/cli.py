@@ -1,0 +1,175 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+simulate   build a benchmark system (at reduced scale) and run MD
+machine    run the functional multi-node machine and report traffic
+perf       print the performance model's Table 2 profile / Figure 5 rate
+info       version, paper reference, and reproduced-experiment index
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _add_simulate(sub) -> None:
+    p = sub.add_parser("simulate", help="run MD on a benchmark system")
+    p.add_argument("--system", default="water", help="water, hp, or a Table 4 name (gpW, DHFR, ...)")
+    p.add_argument("--scale", type=float, default=0.05, help="atom-count scale for Table 4 systems")
+    p.add_argument("--waters", type=int, default=64, help="molecule count for --system water")
+    p.add_argument("--steps", type=int, default=200)
+    p.add_argument("--dt", type=float, default=1.0, help="time step, fs")
+    p.add_argument("--mode", choices=("fixed", "float"), default="fixed")
+    p.add_argument("--temperature", type=float, default=300.0)
+    p.add_argument("--cutoff", type=float, default=None)
+    p.add_argument("--record-every", type=int, default=20)
+    p.add_argument("--seed", type=int, default=0)
+
+
+def _add_machine(sub) -> None:
+    p = sub.add_parser("machine", help="run the functional Anton machine simulation")
+    p.add_argument("--nodes", type=int, default=8, help="power-of-two node count")
+    p.add_argument("--waters", type=int, default=32)
+    p.add_argument("--steps", type=int, default=8)
+    p.add_argument("--check-invariance", action="store_true",
+                   help="also run on 1 node and compare bitwise")
+
+
+def _add_perf(sub) -> None:
+    p = sub.add_parser("perf", help="performance model queries")
+    p.add_argument("--system", default="DHFR", help="Table 4 name or BPTI")
+    p.add_argument("--nodes", type=int, default=512)
+    p.add_argument("--profile", action="store_true", help="print the Table 2 style task profile")
+
+
+def cmd_simulate(args) -> int:
+    from repro import BerendsenThermostat, MDParams, Simulation, minimize_energy
+    from repro.systems import benchmark_by_name, build_hp_system, build_water_box, hp_miniprotein
+
+    if args.system == "water":
+        system = build_water_box(n_molecules=args.waters, seed=args.seed)
+        cutoff = args.cutoff or min(5.5, system.box.max_cutoff() * 0.9)
+        params = MDParams(cutoff=cutoff, mesh=(16, 16, 16), long_range_every=2)
+    elif args.system == "hp":
+        system = build_hp_system(hp_miniprotein(seed=args.seed))
+        params = MDParams(cutoff=args.cutoff or 14.0, mesh=(16, 16, 16))
+    else:
+        spec = benchmark_by_name(args.system)
+        system = spec.build(scale=args.scale, seed=args.seed)
+        cutoff = args.cutoff or min(spec.cutoff, system.box.max_cutoff() * 0.9)
+        params = MDParams(cutoff=cutoff, mesh=(32, 32, 32), long_range_every=2)
+    print(f"system: {system.meta.get('name', args.system)} — {system.n_atoms} atoms, "
+          f"box {system.box.lengths[0]:.1f} A, cutoff {params.cutoff:.1f} A")
+    e = minimize_energy(system, params, max_steps=80)
+    print(f"minimized potential energy: {e:.1f} kcal/mol")
+    system.initialize_velocities(args.temperature, seed=args.seed + 1)
+    sim = Simulation(
+        system,
+        params,
+        dt=args.dt,
+        mode=args.mode,
+        thermostat=BerendsenThermostat(args.temperature),
+        constraints=True,
+    )
+    print(f"{'step':>8} {'E_total':>14} {'T (K)':>8}")
+    for rec in sim.run(args.steps, record_every=args.record_every):
+        print(f"{rec.step:>8} {rec.total:>14.4f} {rec.temperature:>8.0f}")
+    return 0
+
+
+def cmd_machine(args) -> int:
+    from repro import AntonMachine, MDParams, minimize_energy
+    from repro.systems import build_water_box
+
+    base = build_water_box(n_molecules=args.waters, seed=7)
+    cutoff = min(4.5, base.box.max_cutoff() * 0.9)
+    params = MDParams(cutoff=cutoff, mesh=(16, 16, 16), quantize_mesh_bits=40)
+    minimize_energy(base, params, max_steps=40)
+    base.initialize_velocities(300.0, seed=8)
+
+    machine = AntonMachine(base.copy(), params, n_nodes=args.nodes, dt=1.0)
+    machine.step(args.steps)
+    print(f"{args.nodes}-node machine, {args.steps} steps "
+          f"({machine.topology.dims[0]}x{machine.topology.dims[1]}x{machine.topology.dims[2]} torus)")
+    print(f"messages/node/step: {machine.messages_per_node_per_step():.1f}")
+    for tag, (msgs, nbytes) in sorted(machine.traffic_summary().items()):
+        print(f"  {tag:<20} {msgs:>8} msgs {nbytes:>12} bytes")
+    if args.check_invariance:
+        ref = AntonMachine(base.copy(), params, n_nodes=1, dt=1.0)
+        ref.step(args.steps)
+        same = all(
+            np.array_equal(a, b) for a, b in zip(machine.state_codes(), ref.state_codes())
+        )
+        print(f"bitwise identical to the 1-node machine: {same}")
+        if not same:
+            return 1
+    return 0
+
+
+def cmd_perf(args) -> int:
+    from repro import PerformanceModel
+    from repro.systems import benchmark_by_name
+
+    pm = PerformanceModel()
+    spec = benchmark_by_name(args.system)
+    rate = pm.anton_us_per_day(spec, n_nodes=args.nodes)
+    print(f"{spec.name}: {spec.n_atoms} atoms, cutoff {spec.cutoff} A, mesh {spec.mesh}^3")
+    print(f"modeled rate on {args.nodes} nodes: {rate:.1f} us/day "
+          f"(paper, 512 nodes: {spec.paper_us_per_day})")
+    print(f"speedup vs Desmond record: {pm.speedup_vs_desmond(rate):.0f}x; "
+          f"vs practical clusters: {pm.speedup_vs_practical_cluster(rate):.0f}x")
+    if args.profile:
+        from repro.perf import workload_from_spec
+
+        w = workload_from_spec(spec, n_nodes=args.nodes)
+        print(f"\nper-node task profile ({args.nodes} nodes), us:")
+        for task, t, frac in pm.anton_profile(w, n_nodes=args.nodes).rows():
+            print(f"  {task:<24} {t:8.2f}  ({frac:4.0%})")
+    return 0
+
+
+def cmd_info(_args) -> int:
+    import repro
+
+    print(f"repro {repro.__version__} — functional reproduction of")
+    print('  Shaw et al., "Millisecond-Scale Molecular Dynamics Simulations')
+    print('  on Anton", SC 2009.')
+    print("\nreproduced experiments (see EXPERIMENTS.md):")
+    for item in (
+        "Table 1  longest published simulations (bench_table1_longest_sims)",
+        "Table 2  x86 vs Anton task profiles (bench_table2_profile)",
+        "Table 3  NT match efficiency (bench_table3_match_efficiency)",
+        "Table 4  force errors / drift / rates (bench_table4_accuracy)",
+        "Fig. 3   import-region volumes (bench_figure3_import_volume)",
+        "Fig. 4   datapath-width accuracy (bench_figure4_numerics)",
+        "Fig. 5   performance vs size (bench_figure5_performance)",
+        "Fig. 6   NH order parameters (bench_figure6_order_params)",
+        "Fig. 7   folding/unfolding events (bench_figure7_folding)",
+        "Sec. 4   determinism / invariance / reversibility (bench_numerics_invariance)",
+    ):
+        print(f"  {item}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+    _add_simulate(sub)
+    _add_machine(sub)
+    _add_perf(sub)
+    sub.add_parser("info", help="version and experiment index")
+    args = parser.parse_args(argv)
+    return {
+        "simulate": cmd_simulate,
+        "machine": cmd_machine,
+        "perf": cmd_perf,
+        "info": cmd_info,
+    }[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

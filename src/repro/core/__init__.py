@@ -1,0 +1,46 @@
+"""Core MD engine: system state, fixed-point and float integrators,
+constraints, thermostats, force orchestration, and the Simulation
+driver."""
+
+from repro.core.barostat import BerendsenBarostat, NPTRecord, run_npt
+from repro.core.constraints import ConstraintSolver
+from repro.core.forces import ForceCalculator, ForceReport, MDParams, MTSForceProvider
+from repro.core.integrator import (
+    FixedPointConfig,
+    FixedPointIntegrator,
+    PositionCodec,
+    VelocityVerlet,
+)
+from repro.core.simulation import EnergyRecord, Simulation, minimize_energy
+from repro.core.system import ChemicalSystem
+from repro.core.thermostat import BerendsenThermostat
+from repro.core.virial import (
+    VirialReport,
+    compute_virial,
+    instantaneous_pressure,
+    virial_codec,
+)
+
+__all__ = [
+    "BerendsenBarostat",
+    "NPTRecord",
+    "run_npt",
+    "VirialReport",
+    "compute_virial",
+    "instantaneous_pressure",
+    "virial_codec",
+    "ConstraintSolver",
+    "ForceCalculator",
+    "ForceReport",
+    "MDParams",
+    "MTSForceProvider",
+    "FixedPointConfig",
+    "FixedPointIntegrator",
+    "PositionCodec",
+    "VelocityVerlet",
+    "EnergyRecord",
+    "Simulation",
+    "minimize_energy",
+    "ChemicalSystem",
+    "BerendsenThermostat",
+]

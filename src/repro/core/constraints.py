@@ -1,0 +1,140 @@
+"""SHAKE/RATTLE distance constraints (paper Section 3.2.4).
+
+"Most MD simulations can be accelerated by incorporating constraints
+during integration that fix the lengths of bonds to hydrogen atoms as
+well as angles between certain bonds."
+
+Implementation: Gauss–Seidel SHAKE with *constraint coloring*.  The
+constraints are greedily partitioned into batches that share no atoms,
+so each batch updates vectorized and exactly (not Jacobi-approximately),
+while successive batches see each other's corrections — the ordering
+that gives classic SHAKE its fast linear convergence.  The coloring is
+deterministic (greedy in constraint order), so results are bitwise
+reproducible and independent of how constraint groups are distributed
+over simulated nodes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.forcefield import Topology
+from repro.geometry import Box
+
+__all__ = ["ConstraintSolver"]
+
+
+def _color_constraints(idx: np.ndarray) -> list[np.ndarray]:
+    """Greedy partition of constraints into atom-disjoint batches."""
+    batches: list[list[int]] = []
+    batch_atoms: list[set[int]] = []
+    for c, (i, j) in enumerate(idx):
+        i, j = int(i), int(j)
+        for b, atoms in enumerate(batch_atoms):
+            if i not in atoms and j not in atoms:
+                batches[b].append(c)
+                atoms.add(i)
+                atoms.add(j)
+                break
+        else:
+            batches.append([c])
+            batch_atoms.append({i, j})
+    return [np.array(b, dtype=np.int64) for b in batches]
+
+
+class ConstraintSolver:
+    """Iterative SHAKE (positions) and RATTLE (velocities).
+
+    Parameters
+    ----------
+    iterations:
+        Maximum Gauss–Seidel sweeps.  Rigid water converges at ~0.4 per
+        sweep even from large perturbations; MD-step displacements
+        reach 1e-12 well inside the default.
+    """
+
+    def __init__(self, topology: Topology, masses: np.ndarray, box: Box, iterations: int = 40):
+        topology.compile()
+        self.idx = topology.constraint_idx
+        self.dist = topology.constraint_dist
+        self.box = box
+        self.iterations = iterations
+        inv = np.zeros_like(np.asarray(masses, dtype=np.float64))
+        m = np.asarray(masses, dtype=np.float64)
+        inv[m > 0] = 1.0 / m[m > 0]
+        self.inv_mass = inv
+        if len(self.idx):
+            i, j = self.idx[:, 0], self.idx[:, 1]
+            if np.any(self.inv_mass[i] + self.inv_mass[j] == 0):
+                raise ValueError("constraint between two massless atoms")
+        self.batches = _color_constraints(self.idx)
+
+    @property
+    def n_constraints(self) -> int:
+        return len(self.idx)
+
+    @property
+    def n_colors(self) -> int:
+        return len(self.batches)
+
+    def shake(
+        self, positions: np.ndarray, reference: np.ndarray, tol: float = 1e-10
+    ) -> np.ndarray:
+        """Project ``positions`` onto the constraint manifold (in place).
+
+        ``reference`` supplies the pre-drift constraint directions, as
+        in classic SHAKE.
+        """
+        if not self.n_constraints:
+            return positions
+        all_i, all_j = self.idx[:, 0], self.idx[:, 1]
+        d2 = self.dist**2
+        dref = self.box.minimum_image(reference[all_i] - reference[all_j])
+        inv = self.inv_mass
+        for _ in range(self.iterations):
+            dx = self.box.minimum_image(positions[all_i] - positions[all_j])
+            if np.max(np.abs(np.sum(dx * dx, axis=1) - d2)) < tol:
+                break
+            for b in self.batches:
+                i, j = all_i[b], all_j[b]
+                dxb = self.box.minimum_image(positions[i] - positions[j])
+                diff = np.sum(dxb * dxb, axis=1) - d2[b]
+                denom = 2.0 * (inv[i] + inv[j]) * np.sum(dxb * dref[b], axis=1)
+                # Guard the (unphysical at MD step sizes) perpendicular-
+                # drift singularity.
+                denom = np.where(np.abs(denom) < 1e-12, 1e-12, denom)
+                g = diff / denom
+                corr = g[:, None] * dref[b]
+                positions[i] -= inv[i][:, None] * corr
+                positions[j] += inv[j][:, None] * corr
+        return positions
+
+    def rattle(self, velocities: np.ndarray, positions: np.ndarray, tol: float = 1e-12) -> np.ndarray:
+        """Remove velocity components along constraints (in place)."""
+        if not self.n_constraints:
+            return velocities
+        all_i, all_j = self.idx[:, 0], self.idx[:, 1]
+        dx_all = self.box.minimum_image(positions[all_i] - positions[all_j])
+        d2_all = np.sum(dx_all * dx_all, axis=1)
+        inv = self.inv_mass
+        for _ in range(self.iterations):
+            dv = velocities[all_i] - velocities[all_j]
+            if np.max(np.abs(np.sum(dx_all * dv, axis=1))) < tol:
+                break
+            for b in self.batches:
+                i, j = all_i[b], all_j[b]
+                dx = dx_all[b]
+                rv = np.sum(dx * (velocities[i] - velocities[j]), axis=1)
+                k = rv / ((inv[i] + inv[j]) * d2_all[b])
+                corr = k[:, None] * dx
+                velocities[i] -= inv[i][:, None] * corr
+                velocities[j] += inv[j][:, None] * corr
+        return velocities
+
+    def max_residual(self, positions: np.ndarray) -> float:
+        """Largest |r² - d²| over all constraints (diagnostic)."""
+        if not self.n_constraints:
+            return 0.0
+        i, j = self.idx[:, 0], self.idx[:, 1]
+        dx = self.box.minimum_image(positions[i] - positions[j])
+        return float(np.max(np.abs(np.sum(dx * dx, axis=1) - self.dist**2)))

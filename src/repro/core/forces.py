@@ -1,0 +1,336 @@
+"""Force orchestration: one object that evaluates the full force field.
+
+Composes the substrates exactly as a time step does (Table 2's rows):
+
+* range-limited forces (LJ + screened Coulomb, analytic or tabulated)
+* charge spreading -> FFT -> convolution -> inverse FFT -> force
+  interpolation (GSE)
+* correction forces for excluded / 1-4 pairs
+* bonded forces
+
+and produces either dense float forces (reference path) or
+order-invariant fixed-point force codes (Anton path).  Multiple
+time-stepping ("long-range interactions are typically evaluated only
+every two or three time steps") is provided by :class:`MTSForceProvider`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.system import ChemicalSystem
+from repro.ewald import GaussianSplitEwald, GSEParams, correction_forces, self_energy
+from repro.fixedpoint import FixedAccumulator, round_nearest_even
+from repro.forcefield import (
+    all_bonded_forces,
+    build_kernel_tables,
+    nonbonded_real_space,
+    nonbonded_real_space_tabulated,
+    scatter_forces,
+)
+from repro.geometry import neighbor_pairs
+
+__all__ = ["MDParams", "ForceReport", "ForceCalculator", "MTSForceProvider"]
+
+
+@dataclass(frozen=True)
+class MDParams:
+    """Tunable simulation parameters (the knobs of Table 2).
+
+    ``cutoff``/``mesh`` trade real-space against Fourier work;
+    ``kernel_mode`` selects analytic float64 kernels or the PPIP-style
+    tiered tables; ``long_range_every`` is the MTS interval.
+    """
+
+    cutoff: float = 9.0
+    mesh: tuple[int, int, int] = (32, 32, 32)
+    ewald_tolerance: float = 1e-5
+    lj_mode: str = "shift_force"
+    kernel_mode: str = "analytic"
+    long_range_every: int = 1
+    table_mantissa_bits: int = 22
+    #: Fixed-point bits for mesh-charge accumulation; None keeps float
+    #: spreading.  Set (e.g. 40) when bitwise parallel invariance of
+    #: the mesh pipeline matters (the machine simulation requires it).
+    quantize_mesh_bits: int | None = None
+    #: Disable Coulomb entirely (bead models); also auto-disabled when
+    #: every charge is zero.
+    electrostatics: bool = True
+
+
+@dataclass
+class ForceReport:
+    """Forces plus the per-component energy breakdown of one evaluation."""
+
+    forces: np.ndarray
+    energies: dict = field(default_factory=dict)
+    n_pairs: int = 0
+
+    @property
+    def potential_energy(self) -> float:
+        return float(sum(self.energies.values()))
+
+
+class ForceCalculator:
+    """Evaluates all force-field components for one system."""
+
+    def __init__(self, system: ChemicalSystem, params: MDParams = MDParams()):
+        self.system = system
+        self.params = params
+        self.electrostatics = bool(params.electrostatics) and bool(np.any(system.charges != 0))
+        if self.electrostatics:
+            gse_params = GSEParams.choose(
+                system.box, params.cutoff, params.mesh, real_space_tolerance=params.ewald_tolerance
+            )
+            self.gse = GaussianSplitEwald(system.box, gse_params)
+            self.sigma = gse_params.sigma
+        else:
+            from repro.ewald import choose_sigma
+
+            self.gse = None
+            # A sigma is still needed for kernel shapes; with zero
+            # charges every Coulomb term vanishes identically.
+            self.sigma = choose_sigma(params.cutoff, params.ewald_tolerance)
+        self.tables = None
+        if params.kernel_mode == "table":
+            self.tables = build_kernel_tables(
+                params.cutoff, self.sigma, mantissa_bits=params.table_mantissa_bits
+            )
+        elif params.kernel_mode != "analytic":
+            raise ValueError(f"unknown kernel_mode {params.kernel_mode!r}")
+        self.mesh_codec = None
+        if params.quantize_mesh_bits is not None:
+            from repro.fixedpoint import FixedFormat, ScaledFixed
+
+            # Mesh charge magnitudes are bounded by a few elementary
+            # charges times the (sub-unity) Gaussian weight.
+            self.mesh_codec = ScaledFixed(FixedFormat(params.quantize_mesh_bits), limit=8.0)
+        # Self energy is configuration-independent: compute once.
+        self._e_self = self_energy(system.charges, self.sigma)
+
+    # -- contribution gathering -------------------------------------------
+
+    def _range_limited(self, positions: np.ndarray):
+        s = self.system
+        pairs = neighbor_pairs(positions, s.box, self.params.cutoff)
+        if self.tables is not None:
+            nb = nonbonded_real_space_tabulated(
+                pairs, s.charges, s.type_ids, s.lj, s.exclusions, self.tables
+            )
+        else:
+            nb = nonbonded_real_space(
+                pairs,
+                s.charges,
+                s.type_ids,
+                s.lj,
+                s.exclusions,
+                self.sigma,
+                lj_mode=self.params.lj_mode,
+                cutoff=self.params.cutoff,
+            )
+        return nb
+
+    def _bonded(self, positions: np.ndarray):
+        return all_bonded_forces(positions, self.system.box, self.system.topology)
+
+    def _corrections(self, positions: np.ndarray):
+        s = self.system
+        return correction_forces(
+            positions, s.box, s.charges, s.type_ids, s.lj, s.exclusions, self.sigma
+        )
+
+    # -- float path -----------------------------------------------------------
+
+    def compute_long(self, positions: np.ndarray) -> ForceReport:
+        """Long-range components only: corrections + mesh electrostatics.
+
+        Virtual-site redistribution is NOT applied here; callers that
+        combine parts apply it once on the combined force.
+        """
+        s = self.system
+        forces = np.zeros((s.n_atoms, 3))
+        corr = self._corrections(positions)
+        np.add.at(forces, corr.i, corr.force)
+        np.add.at(forces, corr.j, -corr.force)
+        e_k = 0.0
+        if self.gse is not None:
+            e_k, f_k = self.gse.kspace(positions, s.charges, codec=self.mesh_codec)
+            forces += f_k
+        energies = {
+            "correction": corr.energy_exclusion + corr.energy_14_coul,
+            "lj14": corr.energy_14_lj,
+            "coulomb_kspace": e_k,
+            "coulomb_self": self._e_self,
+        }
+        return ForceReport(forces=forces, energies=energies)
+
+    def compute(self, positions: np.ndarray, include_long_range: bool = True) -> ForceReport:
+        """Dense float64 forces and the energy breakdown."""
+        s = self.system
+        n = s.n_atoms
+        forces = np.zeros((n, 3))
+        energies: dict[str, float] = {}
+
+        nb = self._range_limited(positions)
+        np.add.at(forces, nb.i, nb.force)
+        np.add.at(forces, nb.j, -nb.force)
+        energies["lj"] = nb.energy_lj
+        energies["coulomb_real"] = nb.energy_coul
+
+        bonded = self._bonded(positions)
+        forces += scatter_forces(n, bonded)
+        energies["bond"] = bonded[0].energy
+        energies["angle"] = bonded[1].energy
+        energies["dihedral"] = bonded[2].energy
+
+        if include_long_range:
+            long_part = self.compute_long(positions)
+            forces += long_part.forces
+            energies.update(long_part.energies)
+
+        s.spread_virtual_site_forces(forces)
+        return ForceReport(forces=forces, energies=energies, n_pairs=nb.n_pairs)
+
+    # -- fixed-point path ---------------------------------------------------------
+
+    def compute_long_fixed(
+        self, positions: np.ndarray, force_codec
+    ) -> tuple[np.ndarray, dict]:
+        """Fixed-point codes of the long-range components only.
+
+        Raw (unwrapped) int64 sums — callers combine with short-range
+        codes and wrap once.  No vsite redistribution here.
+        """
+        s = self.system
+        acc = FixedAccumulator((s.n_atoms, 3), force_codec.fmt)
+        corr = self._corrections(positions)
+        ccodes = force_codec.quantize_round_only(corr.force)
+        acc.deposit(corr.i, ccodes)
+        acc.deposit(corr.j, -ccodes)
+        e_k = 0.0
+        if self.gse is not None:
+            e_k, f_k = self.gse.kspace(positions, s.charges, codec=self.mesh_codec)
+            acc.deposit_dense(force_codec.quantize_round_only(f_k))
+        energies = {
+            "correction": corr.energy_exclusion + corr.energy_14_coul,
+            "lj14": corr.energy_14_lj,
+            "coulomb_kspace": e_k,
+            "coulomb_self": self._e_self,
+        }
+        return acc.raw(), energies
+
+    def compute_fixed(
+        self, positions: np.ndarray, force_codec, include_long_range: bool = True
+    ) -> tuple[np.ndarray, ForceReport]:
+        """Order-invariant fixed-point force codes.
+
+        Every contribution (per pair, per bonded term, per atom of the
+        mesh interpolation) is quantized once with ``force_codec`` and
+        integer-accumulated, so the total is independent of evaluation
+        and summation order — the machine simulation distributes these
+        same contributions over nodes and obtains identical bits.
+        """
+        s = self.system
+        n = s.n_atoms
+        acc = FixedAccumulator((n, 3), force_codec.fmt)
+        energies: dict[str, float] = {}
+
+        nb = self._range_limited(positions)
+        codes = force_codec.quantize_round_only(nb.force)
+        acc.deposit(nb.i, codes)
+        acc.deposit(nb.j, -codes)
+        energies["lj"] = nb.energy_lj
+        energies["coulomb_real"] = nb.energy_coul
+
+        bonded = self._bonded(positions)
+        for contrib in bonded:
+            if contrib.n_terms:
+                c = force_codec.quantize_round_only(contrib.force)
+                acc.deposit(contrib.idx.ravel(), c.reshape(-1, 3))
+        energies["bond"] = bonded[0].energy
+        energies["angle"] = bonded[1].energy
+        energies["dihedral"] = bonded[2].energy
+
+        if include_long_range:
+            long_codes, long_energies = self.compute_long_fixed(positions, force_codec)
+            acc.deposit_dense(long_codes)
+            energies.update(long_energies)
+
+        total = acc.total()
+        total = self._spread_vsite_codes(total)
+        report = ForceReport(
+            forces=force_codec.reconstruct(total), energies=energies, n_pairs=nb.n_pairs
+        )
+        return total, report
+
+    def _spread_vsite_codes(self, codes: np.ndarray) -> np.ndarray:
+        """Redistribute vsite force codes to parents (integer-exact)."""
+        top = self.system.topology
+        if not len(top.vsite_idx):
+            return codes
+        sidx, p, r1, r2 = (top.vsite_idx[:, c] for c in range(4))
+        w = top.vsite_weight[:, None]
+        fs = codes[sidx].astype(np.float64)
+        codes[sidx] = 0
+        with np.errstate(over="ignore"):
+            np.add.at(codes, p, round_nearest_even((1.0 - 2.0 * w) * fs).astype(np.int64))
+            np.add.at(codes, r1, round_nearest_even(w * fs).astype(np.int64))
+            np.add.at(codes, r2, round_nearest_even(w * fs).astype(np.int64))
+        return codes
+
+
+class MTSForceProvider:
+    """Impulse (Verlet-I / r-RESPA) multiple-time-step force schedule.
+
+    Long-range forces are evaluated every ``k = long_range_every``
+    calls and applied as an impulse with weight ``k``; in between, the
+    provider returns only range-limited + bonded forces.  Energies
+    report the most recent long-range values so monitoring stays
+    meaningful on every step.
+    """
+
+    def __init__(self, calc: ForceCalculator, force_codec=None):
+        self.calc = calc
+        self.force_codec = force_codec
+        self.k = calc.params.long_range_every
+        self.calls = 0
+        self.long_evaluations = 0
+        self._last_long_energies: dict[str, float] = {}
+
+    def __call__(self, positions: np.ndarray):
+        if self.k == 1:
+            # Single-rate fast path: one combined evaluation.
+            self.calls += 1
+            self.long_evaluations += 1
+            if self.force_codec is not None:
+                return self.calc.compute_fixed(positions, self.force_codec)
+            report = self.calc.compute(positions)
+            return report.forces, report
+        include_long = self.calls % self.k == 0
+        if self.force_codec is not None:
+            out, report = self.calc.compute_fixed(
+                positions, self.force_codec, include_long_range=False
+            )
+            if include_long:
+                long_codes, long_energies = self.calc.compute_long_fixed(
+                    positions, self.force_codec
+                )
+                with np.errstate(over="ignore"):
+                    raw = out.astype(np.int64) + np.int64(self.k) * long_codes
+                out = self.calc._spread_vsite_codes(self.force_codec.wrap(raw))
+                self._last_long_energies = long_energies
+                self.long_evaluations += 1
+        else:
+            report = self.calc.compute(positions, include_long_range=False)
+            out = report.forces
+            if include_long:
+                long_part = self.calc.compute_long(positions)
+                out = out + self.k * long_part.forces
+                self.calc.system.spread_virtual_site_forces(out)
+                self._last_long_energies = long_part.energies
+                self.long_evaluations += 1
+        report.energies.update(self._last_long_energies)
+        self.calls += 1
+        return out, report

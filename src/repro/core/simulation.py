@@ -1,0 +1,233 @@
+"""High-level simulation driver.
+
+Wires a :class:`ChemicalSystem` to a force calculator, constraint
+solver, thermostat, and integrator (fixed-point or float), and runs
+time steps while recording energies and optional trajectory snapshots.
+Also provides steepest-descent minimization for system preparation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.constraints import ConstraintSolver
+from repro.core.forces import ForceCalculator, MDParams, MTSForceProvider
+from repro.core.integrator import FixedPointConfig, FixedPointIntegrator, VelocityVerlet
+from repro.core.system import ChemicalSystem
+
+__all__ = ["EnergyRecord", "Simulation", "minimize_energy"]
+
+
+@dataclass(frozen=True)
+class EnergyRecord:
+    """One row of the energy log."""
+
+    step: int
+    time_fs: float
+    kinetic: float
+    potential: float
+    temperature: float
+
+    @property
+    def total(self) -> float:
+        return self.kinetic + self.potential
+
+
+def minimize_energy(
+    system: ChemicalSystem,
+    params: MDParams = MDParams(),
+    max_steps: int = 200,
+    initial_step: float = 0.02,
+    force_tolerance: float = 10.0,
+) -> float:
+    """Steepest-descent minimization (system preparation).
+
+    Moves atoms along the normalized force direction with an adaptive
+    step, writing relaxed positions back into ``system``.  Returns the
+    final potential energy.  Virtual sites follow their parents, and
+    rigid constraints (which carry no bonded-term restoring force) are
+    re-imposed with SHAKE after every move.
+    """
+    calc = ForceCalculator(system, params)
+    solver = None
+    if system.topology.n_constraints:
+        solver = ConstraintSolver(system.topology, system.masses, system.box, iterations=100)
+    pos = system.box.wrap(system.positions.copy())
+    if solver is not None:
+        solver.shake(pos, pos)
+    system.place_virtual_sites(pos)
+    report = calc.compute(pos)
+    energy = report.potential_energy
+    step = initial_step
+    for _ in range(max_steps):
+        fmax = float(np.max(np.abs(report.forces)))
+        if fmax < force_tolerance:
+            break
+        trial = pos + report.forces / max(fmax, 1e-12) * step
+        if solver is not None:
+            solver.shake(trial, pos)
+        trial = system.box.wrap(trial)
+        system.place_virtual_sites(trial)
+        trial_report = calc.compute(trial)
+        if trial_report.potential_energy < energy:
+            pos, report, energy = trial, trial_report, trial_report.potential_energy
+            step = min(step * 1.2, 0.5)
+        else:
+            step *= 0.5
+            if step < 1e-6:
+                break
+    system.positions = pos
+    return energy
+
+
+class Simulation:
+    """One runnable MD simulation.
+
+    Parameters
+    ----------
+    mode:
+        ``"fixed"`` — Anton-numerics path (fixed-point state, integer
+        force accumulation); ``"float"`` — conventional float64 path.
+    constraints:
+        ``True`` builds a solver from the topology's constraint list
+        (rigid water, H-bond constraints); ``False`` integrates
+        unconstrained (required for exact-reversibility experiments).
+    """
+
+    def __init__(
+        self,
+        system: ChemicalSystem,
+        params: MDParams = MDParams(),
+        dt: float = 2.5,
+        mode: str = "fixed",
+        fixed_config: FixedPointConfig = FixedPointConfig(),
+        thermostat=None,
+        constraints: bool = True,
+    ):
+        self.system = system
+        self.params = params
+        self.dt = float(dt)
+        self.mode = mode
+        self.calc = ForceCalculator(system, params)
+        solver = None
+        if constraints and system.topology.n_constraints:
+            solver = ConstraintSolver(system.topology, system.masses, system.box)
+        self.constraint_solver = solver
+        if mode == "fixed":
+            self.provider = MTSForceProvider(self.calc, force_codec=fixed_config.force_codec())
+            self.integrator = FixedPointIntegrator(
+                system,
+                self.provider,
+                dt,
+                config=fixed_config,
+                constraints=solver,
+                thermostat=thermostat,
+            )
+        elif mode == "float":
+            self.provider = MTSForceProvider(self.calc)
+            self.integrator = VelocityVerlet(
+                system, self.provider, dt, constraints=solver, thermostat=thermostat
+            )
+        else:
+            raise ValueError(f"unknown mode {mode!r}")
+        self.energy_log: list[EnergyRecord] = []
+        self.snapshots: list[np.ndarray] = []
+        self.snapshot_steps: list[int] = []
+
+    # -- state views ------------------------------------------------------
+
+    @property
+    def positions(self) -> np.ndarray:
+        return self.integrator.positions
+
+    @property
+    def velocities(self) -> np.ndarray:
+        return self.integrator.velocities
+
+    def record_energy(self) -> EnergyRecord:
+        ke = self.integrator.kinetic_energy()
+        pe = float(sum(self.integrator.last_info.energies.values()))
+        rec = EnergyRecord(
+            step=self.integrator.step_count,
+            time_fs=self.integrator.step_count * self.dt,
+            kinetic=ke,
+            potential=pe,
+            temperature=self.integrator.temperature(),
+        )
+        self.energy_log.append(rec)
+        return rec
+
+    # -- running --------------------------------------------------------------
+
+    # -- checkpointing ------------------------------------------------------
+
+    def checkpoint(self) -> dict:
+        """Snapshot the exact dynamic state.
+
+        For the fixed-point path the snapshot holds the raw integer
+        state, so a restored simulation continues *bit-for-bit* — the
+        property that let the paper's multi-month BPTI run survive
+        interruptions without perturbing the trajectory.
+        """
+        chk = {
+            "mode": self.mode,
+            "dt": self.dt,
+            "step_count": self.integrator.step_count,
+            "provider_calls": self.provider.calls,
+        }
+        if self.mode == "fixed":
+            chk["X"], chk["V"] = self.integrator.state_codes()
+        else:
+            chk["positions"] = self.integrator.positions.copy()
+            chk["velocities"] = self.integrator.velocities.copy()
+        return chk
+
+    def restore(self, chk: dict) -> None:
+        """Resume from a checkpoint taken on a compatible simulation.
+
+        The force cache is rebuilt by replaying the evaluation the
+        original run performed at this state (same MTS phase), so the
+        next step is identical to what the original would have taken.
+        """
+        if chk["mode"] != self.mode or chk["dt"] != self.dt:
+            raise ValueError("checkpoint is for a different mode or time step")
+        integ = self.integrator
+        if self.mode == "fixed":
+            integ.X = chk["X"].copy()
+            integ.V = chk["V"].copy()
+        else:
+            integ.positions = chk["positions"].copy()
+            integ.velocities = chk["velocities"].copy()
+        integ.step_count = chk["step_count"]
+        # Replay the force evaluation that produced the cached forces
+        # (the constructor already consumed one provider call).
+        self.provider.calls = chk["provider_calls"] - 1
+        if self.mode == "fixed":
+            integ._force_codes, integ.last_info = self.provider(integ.positions)
+        else:
+            integ._forces, integ.last_info = self.provider(integ.positions)
+
+    def run(
+        self,
+        n_steps: int,
+        record_every: int = 0,
+        snapshot_every: int = 0,
+    ) -> list[EnergyRecord]:
+        """Advance ``n_steps``; returns the records appended this call.
+
+        ``record_every`` / ``snapshot_every`` of 0 disable logging.
+        With MTS, meaningful total-energy records need ``record_every``
+        to be a multiple of ``params.long_range_every``.
+        """
+        start = len(self.energy_log)
+        for i in range(n_steps):
+            self.integrator.step()
+            done = i + 1
+            if record_every and done % record_every == 0:
+                self.record_energy()
+            if snapshot_every and done % snapshot_every == 0:
+                self.snapshots.append(self.positions.copy())
+                self.snapshot_steps.append(self.integrator.step_count)
+        return self.energy_log[start:]

@@ -1,0 +1,38 @@
+"""Ewald electrostatics: analytic kernels, Gaussian Split Ewald (GSE),
+SPME baseline, excluded-pair corrections, and a direct-sum reference."""
+
+from repro.ewald.correction import CorrectionResult, correction_forces
+from repro.ewald.gse import GaussianSplitEwald, GSEParams
+from repro.ewald.reference import EwaldResult, direct_coulomb_images, direct_ewald
+from repro.ewald.spme import SmoothPME, SPMEParams, bspline
+from repro.ewald.kernels import (
+    choose_sigma,
+    kspace_pair_energy_kernel,
+    kspace_pair_force_kernel,
+    plain_coulomb_energy_kernel,
+    plain_coulomb_force_kernel,
+    real_space_energy_kernel,
+    real_space_force_kernel,
+    self_energy,
+)
+
+__all__ = [
+    "CorrectionResult",
+    "correction_forces",
+    "GaussianSplitEwald",
+    "GSEParams",
+    "EwaldResult",
+    "direct_coulomb_images",
+    "direct_ewald",
+    "SmoothPME",
+    "SPMEParams",
+    "bspline",
+    "choose_sigma",
+    "kspace_pair_energy_kernel",
+    "kspace_pair_force_kernel",
+    "plain_coulomb_energy_kernel",
+    "plain_coulomb_force_kernel",
+    "real_space_energy_kernel",
+    "real_space_force_kernel",
+    "self_energy",
+]

@@ -1,0 +1,128 @@
+"""Correction forces for excluded and 1-4 scaled pairs (Section 3.1).
+
+"The long-range interactions include contributions from these pairs,
+which must be computed separately as correction forces and subtracted
+out."  On Anton this list-driven work runs on the correction pipeline
+(a PPIP with list-processing control logic) in the flexible subsystem;
+here it is one vectorized pass over the static pair lists.
+
+For a hard-excluded pair the mesh computed ``erf(r/(sqrt2 sigma))/r``
+that should not exist: subtract it.  For a 1-4 pair the target is
+*scaled* full interactions: subtract the mesh part and add the scaled
+analytic LJ + Coulomb.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from typing import TYPE_CHECKING
+
+from repro.ewald.kernels import (
+    kspace_pair_energy_kernel,
+    kspace_pair_force_kernel,
+    plain_coulomb_energy_kernel,
+    plain_coulomb_force_kernel,
+)
+from repro.geometry import Box
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from repro.forcefield.exclusions import ExclusionTable
+    from repro.forcefield.parameters import LJTable
+
+__all__ = ["CorrectionResult", "correction_forces"]
+
+
+@dataclass(frozen=True)
+class CorrectionResult:
+    """Correction energies and per-pair force contributions.
+
+    ``force`` acts on atom ``i`` of each pair (negate for ``j``), in
+    the same contribution format as the range-limited kernels so the
+    fixed-point accumulators treat all sources identically.
+    """
+
+    energy_exclusion: float   # subtracted mesh double-count (1-2, 1-3)
+    energy_14_coul: float     # scaled 1-4 Coulomb minus its mesh part
+    energy_14_lj: float       # scaled 1-4 LJ
+    i: np.ndarray
+    j: np.ndarray
+    force: np.ndarray
+
+    @property
+    def energy(self) -> float:
+        return self.energy_exclusion + self.energy_14_coul + self.energy_14_lj
+
+    @property
+    def n_pairs(self) -> int:
+        return len(self.i)
+
+
+def correction_forces(
+    positions: np.ndarray,
+    box: Box,
+    charges: np.ndarray,
+    type_ids: np.ndarray,
+    lj_table: "LJTable",
+    exclusions: "ExclusionTable",
+    sigma: float,
+) -> CorrectionResult:
+    """Evaluate all correction terms for one configuration."""
+    from repro.forcefield.nonbonded import lj_energy_prefactor
+
+    parts_i, parts_j, parts_f = [], [], []
+
+    # -- hard exclusions: remove the mesh's erf part ---------------------
+    e_excl = 0.0
+    if exclusions.n_excluded:
+        i = exclusions.excluded[:, 0]
+        j = exclusions.excluded[:, 1]
+        dx = box.minimum_image(positions[i] - positions[j])
+        r2 = np.sum(dx * dx, axis=1)
+        qq = charges[i] * charges[j]
+        e_excl = -float(np.sum(qq * kspace_pair_energy_kernel(r2, sigma)))
+        pref = -qq * kspace_pair_force_kernel(r2, sigma)
+        parts_i.append(i)
+        parts_j.append(j)
+        parts_f.append(pref[:, None] * dx)
+
+    # -- 1-4 pairs: scaled explicit interaction minus mesh part -----------
+    e14c = 0.0
+    e14lj = 0.0
+    if exclusions.n_pair14:
+        i = exclusions.pair14[:, 0]
+        j = exclusions.pair14[:, 1]
+        dx = box.minimum_image(positions[i] - positions[j])
+        r2 = np.sum(dx * dx, axis=1)
+        qq = charges[i] * charges[j]
+        cs = exclusions.coul_scale14
+        e14c = float(
+            np.sum(qq * (cs * plain_coulomb_energy_kernel(r2) - kspace_pair_energy_kernel(r2, sigma)))
+        )
+        pref_c = qq * (cs * plain_coulomb_force_kernel(r2) - kspace_pair_force_kernel(r2, sigma))
+        a, b = lj_table.pair_coefficients(type_ids[i], type_ids[j])
+        e_lj, pref_lj = lj_energy_prefactor(r2, a, b)
+        ls = exclusions.lj_scale14
+        e14lj = ls * float(np.sum(e_lj))
+        parts_i.append(i)
+        parts_j.append(j)
+        parts_f.append((pref_c + ls * pref_lj)[:, None] * dx)
+
+    if parts_i:
+        out_i = np.concatenate(parts_i)
+        out_j = np.concatenate(parts_j)
+        out_f = np.concatenate(parts_f)
+    else:
+        out_i = np.empty(0, dtype=np.int64)
+        out_j = np.empty(0, dtype=np.int64)
+        out_f = np.empty((0, 3))
+    return CorrectionResult(
+        energy_exclusion=e_excl,
+        energy_14_coul=e14c,
+        energy_14_lj=e14lj,
+        i=out_i,
+        j=out_j,
+        force=out_f,
+    )

@@ -1,0 +1,21 @@
+"""Fixed-point arithmetic with Anton's semantics (paper Section 4).
+
+Determinism, parallel invariance, and exact time reversibility all rest
+on this package: values are quantized once with round-to-nearest-even
+and summed with exact, associative, wrapping integer arithmetic.
+"""
+
+from repro.fixedpoint.accumulate import FixedAccumulator, wrapping_sum
+from repro.fixedpoint.blockfloat import BlockFloat, BlockFloatCodec
+from repro.fixedpoint.format import FixedFormat, round_nearest_even
+from repro.fixedpoint.scaled import ScaledFixed
+
+__all__ = [
+    "FixedAccumulator",
+    "wrapping_sum",
+    "BlockFloat",
+    "BlockFloatCodec",
+    "FixedFormat",
+    "round_nearest_even",
+    "ScaledFixed",
+]

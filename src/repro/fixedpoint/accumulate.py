@@ -1,0 +1,93 @@
+"""Order-invariant fixed-point accumulation.
+
+The heart of Anton's determinism and parallel invariance (Section 4):
+force contributions are quantized once, then summed with exact integer
+arithmetic, so *any* distribution of the terms over nodes — and any
+arrival order of messages — produces the same bits.
+
+These helpers are used by every force routine: per-interaction
+contributions enter as int64 codes, land in an int64 accumulator via
+``np.add.at`` (unordered, which is safe precisely because integer
+addition is associative and commutative), and the final sums are wrapped
+into the accumulator's fixed-point format.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fixedpoint.format import FixedFormat
+
+__all__ = ["FixedAccumulator", "wrapping_sum"]
+
+
+def wrapping_sum(codes: np.ndarray, fmt: FixedFormat, axis=None) -> np.ndarray:
+    """Sum int64 codes with two's-complement wrap in ``fmt``.
+
+    Intermediate sums may wrap (mod ``2**64`` natively, which is
+    congruent mod ``2**fmt.bits``); the result is correct whenever the
+    true sum is representable, per the paper's footnote 2.
+    """
+    with np.errstate(over="ignore"):
+        total = np.sum(np.asarray(codes, dtype=np.int64), axis=axis)
+    return fmt.wrap(total)
+
+
+class FixedAccumulator:
+    """An int64 accumulator array with fixed-point wrap-on-read semantics.
+
+    Parameters
+    ----------
+    shape:
+        Shape of the accumulator (e.g. ``(n_atoms, 3)`` for forces).
+    fmt:
+        Fixed-point format applied when the totals are read out.
+    """
+
+    def __init__(self, shape, fmt: FixedFormat):
+        self.fmt = fmt
+        self._acc = np.zeros(shape, dtype=np.int64)
+
+    @property
+    def shape(self):
+        return self._acc.shape
+
+    def zero(self) -> None:
+        """Reset all accumulated values."""
+        self._acc[...] = 0
+
+    def deposit(self, index, codes: np.ndarray) -> None:
+        """Scatter-add quantized contributions at ``index`` (unordered).
+
+        ``index`` follows ``np.add.at`` semantics; duplicate indices
+        accumulate, and because the arithmetic is integer the result is
+        independent of the order in which duplicates are applied.
+        """
+        with np.errstate(over="ignore"):
+            np.add.at(self._acc, index, np.asarray(codes, dtype=np.int64))
+
+    def deposit_dense(self, codes: np.ndarray) -> None:
+        """Add a full-shape array of contributions."""
+        with np.errstate(over="ignore"):
+            self._acc += np.asarray(codes, dtype=np.int64)
+
+    def merge(self, other: "FixedAccumulator") -> None:
+        """Fold another accumulator's raw totals into this one.
+
+        This is how simulated nodes combine partial force sums: the
+        merge is a plain integer add, so the combining tree's shape is
+        irrelevant to the final bits.
+        """
+        if other.shape != self.shape:
+            raise ValueError("accumulator shapes differ")
+        with np.errstate(over="ignore"):
+            self._acc += other._acc
+
+    def raw(self) -> np.ndarray:
+        """The raw (unwrapped) int64 totals. Mutating the result mutates
+        the accumulator."""
+        return self._acc
+
+    def total(self) -> np.ndarray:
+        """Final totals wrapped into the fixed-point format."""
+        return self.fmt.wrap(self._acc)

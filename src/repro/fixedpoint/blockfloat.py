@@ -1,0 +1,89 @@
+"""Block-floating-point coefficient encoding (paper Section 4).
+
+Each entry of a PPIP function table stores the four coefficients of a
+cubic polynomial plus "a single exponent common to all four
+coefficients, as in block-floating-point schemes".  This module encodes
+a coefficient vector as signed fixed-point mantissas sharing one power-
+of-two exponent, which is what lets the 19–22-bit datapaths of Figure 4
+capture functions with large dynamic range.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fixedpoint.format import round_nearest_even
+
+__all__ = ["BlockFloat", "BlockFloatCodec"]
+
+
+@dataclass(frozen=True)
+class BlockFloat:
+    """An encoded coefficient block: integer mantissas and shared exponent.
+
+    The represented values are ``mantissas * 2**(exponent + 1 - mantissa_bits)``.
+    """
+
+    mantissas: np.ndarray  # int64, shape (k,)
+    exponent: int
+    mantissa_bits: int
+
+    def decode(self) -> np.ndarray:
+        """Reconstruct the coefficient values as float64."""
+        step = math.ldexp(1.0, self.exponent + 1 - self.mantissa_bits)
+        return self.mantissas.astype(np.float64) * step
+
+
+class BlockFloatCodec:
+    """Encoder for coefficient blocks with ``mantissa_bits``-bit mantissas.
+
+    Parameters
+    ----------
+    mantissa_bits:
+        Signed mantissa width; mantissas lie in
+        ``[-2**(mantissa_bits-1), 2**(mantissa_bits-1))``.
+    exponent_range:
+        Inclusive (lo, hi) clamp on the shared exponent, mimicking a
+        finite hardware exponent field.
+    """
+
+    def __init__(self, mantissa_bits: int, exponent_range: tuple[int, int] = (-64, 64)):
+        if mantissa_bits < 2:
+            raise ValueError("mantissa_bits must be >= 2")
+        self.mantissa_bits = mantissa_bits
+        self.exponent_range = exponent_range
+
+    def encode(self, coeffs: np.ndarray) -> BlockFloat:
+        """Encode a small vector of coefficients with one shared exponent.
+
+        The exponent is the smallest power of two such that every
+        coefficient's mantissa fits; smaller coefficients simply lose
+        low-order bits, exactly as in the hardware scheme.
+        """
+        coeffs = np.asarray(coeffs, dtype=np.float64)
+        amax = float(np.max(np.abs(coeffs))) if coeffs.size else 0.0
+        if amax == 0.0 or not np.isfinite(amax):
+            exponent = self.exponent_range[0]
+        else:
+            # Smallest e with amax * 2**(-e) <= 1 (then mantissa fits,
+            # modulo the asymmetry of two's complement handled below).
+            exponent = max(int(math.ceil(math.log2(amax))), self.exponent_range[0])
+            exponent = min(exponent, self.exponent_range[1])
+        half = 1 << (self.mantissa_bits - 1)
+        step = math.ldexp(1.0, exponent + 1 - self.mantissa_bits)
+        mantissas = round_nearest_even(coeffs / step).astype(np.int64)
+        # The +1.0 boundary case rounds to +half which is unrepresentable;
+        # bump the exponent rather than saturate so the error stays small.
+        if mantissas.size and int(np.max(mantissas)) > half - 1:
+            exponent = min(exponent + 1, self.exponent_range[1])
+            step = math.ldexp(1.0, exponent + 1 - self.mantissa_bits)
+            mantissas = round_nearest_even(coeffs / step).astype(np.int64)
+        mantissas = np.clip(mantissas, -half, half - 1)
+        return BlockFloat(mantissas=mantissas, exponent=exponent, mantissa_bits=self.mantissa_bits)
+
+    def roundtrip(self, coeffs: np.ndarray) -> np.ndarray:
+        """Encode then decode (the quantized coefficient values)."""
+        return self.encode(coeffs).decode()

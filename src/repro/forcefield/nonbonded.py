@@ -1,0 +1,207 @@
+"""Range-limited nonbonded interactions: LJ + screened Coulomb.
+
+Two execution paths compute the same physics:
+
+* :func:`nonbonded_real_space` — analytic float64 kernels ("Desmond
+  double precision" reference path).
+* :func:`nonbonded_real_space_tabulated` — tiered piecewise-cubic
+  tables of r² ("Anton PPIP" path, paper Section 4), built by
+  :func:`build_kernel_tables`.
+
+Both return per-pair force contributions so callers can accumulate in
+floating point or in order-invariant fixed point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ewald.kernels import (
+    real_space_energy_kernel,
+    real_space_force_kernel,
+)
+from repro.forcefield.exclusions import ExclusionTable
+from repro.forcefield.parameters import LJTable
+from repro.functions import KernelTableSet, Tier
+from repro.geometry import NeighborPairs
+from repro.util import COULOMB
+
+__all__ = [
+    "NonbondedResult",
+    "lj_energy_prefactor",
+    "nonbonded_real_space",
+    "build_kernel_tables",
+    "nonbonded_real_space_tabulated",
+]
+
+
+@dataclass(frozen=True)
+class NonbondedResult:
+    """Pairwise nonbonded energies and force contributions.
+
+    ``force`` is the force on atom ``i`` of each pair; the force on
+    ``j`` is its negation (the NT method exploits exactly this symmetry
+    to halve its plate, Figure 3a).
+    """
+
+    energy_lj: float
+    energy_coul: float
+    i: np.ndarray
+    j: np.ndarray
+    force: np.ndarray
+
+    @property
+    def energy(self) -> float:
+        return self.energy_lj + self.energy_coul
+
+    @property
+    def n_pairs(self) -> int:
+        return len(self.i)
+
+
+def lj_energy_prefactor(r2: np.ndarray, a: np.ndarray, b: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """LJ energy and force prefactor from A/B coefficients.
+
+    ``E = A/r^12 - B/r^6``; force vector is ``(12A/r^14 - 6B/r^8) dx``.
+    """
+    inv_r2 = 1.0 / r2
+    inv_r6 = inv_r2 * inv_r2 * inv_r2
+    inv_r12 = inv_r6 * inv_r6
+    energy = a * inv_r12 - b * inv_r6
+    pref = (12.0 * a * inv_r12 - 6.0 * b * inv_r6) * inv_r2
+    return energy, pref
+
+
+def _shift_force_lj(r2, a, b, cutoff):
+    """Shift-force LJ: force goes continuously to zero at the cutoff.
+
+    ``F'(r) = F(r) - F(rc) * rhat``, ``E'(r) = E(r) - E(rc) + (r - rc) Fc``.
+    Keeps the dynamics conservative through the cutoff, which the
+    energy-drift experiments (Table 4) rely on.
+    """
+    r = np.sqrt(r2)
+    e, p = lj_energy_prefactor(r2, a, b)
+    rc2 = np.full_like(r2, cutoff * cutoff)
+    e_c, p_c = lj_energy_prefactor(rc2, a, b)
+    f_c = p_c * cutoff  # force magnitude at cutoff
+    energy = e - e_c + (r - cutoff) * f_c
+    pref = p - f_c / r
+    return energy, pref
+
+
+def nonbonded_real_space(
+    pairs: NeighborPairs,
+    charges: np.ndarray,
+    type_ids: np.ndarray,
+    lj_table: LJTable,
+    exclusions: ExclusionTable,
+    ewald_sigma: float,
+    lj_mode: str = "shift_force",
+    cutoff: float | None = None,
+) -> NonbondedResult:
+    """Analytic range-limited forces over a pair list.
+
+    Excluded and 1-4 pairs are skipped entirely here; the correction
+    path (:mod:`repro.ewald.correction`) handles them.
+    """
+    keep = ~exclusions.is_excluded(pairs.i, pairs.j)
+    i, j, dx, r2 = pairs.i[keep], pairs.j[keep], pairs.dx[keep], pairs.r2[keep]
+    qq = charges[i] * charges[j]
+    a, b = lj_table.pair_coefficients(type_ids[i], type_ids[j])
+
+    if lj_mode == "shift_force":
+        if cutoff is None:
+            raise ValueError("shift_force mode needs the cutoff")
+        e_lj, p_lj = _shift_force_lj(r2, a, b, cutoff)
+    elif lj_mode == "cutoff":
+        e_lj, p_lj = lj_energy_prefactor(r2, a, b)
+    else:
+        raise ValueError(f"unknown lj_mode {lj_mode!r}")
+
+    e_coul = qq * real_space_energy_kernel(r2, ewald_sigma)
+    p_coul = qq * real_space_force_kernel(r2, ewald_sigma)
+
+    force = (p_lj + p_coul)[:, None] * dx
+    return NonbondedResult(
+        energy_lj=float(np.sum(e_lj)),
+        energy_coul=float(np.sum(e_coul)),
+        i=i,
+        j=j,
+        force=force,
+    )
+
+
+# -- tabulated (PPIP) path -------------------------------------------------
+
+#: Tier layout for the steep dispersion kernels: entries concentrated at
+#: small r^2 where r^-14 varies fastest (the paper's tiered indexing).
+_DISPERSION_TIERS: tuple[Tier, ...] = (
+    Tier(0.0, 1.0 / 64, 96),
+    Tier(1.0 / 64, 1.0 / 16, 64),
+    Tier(1.0 / 16, 1.0 / 4, 48),
+    Tier(1.0 / 4, 1.0, 32),
+)
+
+
+def build_kernel_tables(
+    cutoff: float,
+    ewald_sigma: float,
+    mantissa_bits: int = 22,
+    r_floor: float = 1.0,
+) -> KernelTableSet:
+    """Build the PPIP table set for a cutoff/sigma parameterization.
+
+    Tables: electrostatic force/energy (screened Coulomb per unit
+    charge product) and the r^-12 / r^-6 dispersion force/energy
+    kernels (per unit A/B coefficient).
+
+    ``r_floor`` reflects the closest non-excluded approach.  Hydrogens
+    without LJ cores (rigid-water H) can be pressed to ~1.4 A by
+    hydrogen-bond geometry, so the floor sits at 1.0 A; the tiered
+    segmentation keeps the steep small-r region accurate.
+    """
+    ts = KernelTableSet(cutoff=cutoff, r_floor=r_floor)
+    ts.add("elec_f", lambda r2: real_space_force_kernel(r2, ewald_sigma) / COULOMB, mantissa_bits=mantissa_bits)
+    ts.add("elec_e", lambda r2: real_space_energy_kernel(r2, ewald_sigma) / COULOMB, mantissa_bits=mantissa_bits)
+    ts.add("lj12_f", lambda r2: 12.0 / r2**7, tiers=_DISPERSION_TIERS, mantissa_bits=mantissa_bits)
+    ts.add("lj6_f", lambda r2: 6.0 / r2**4, tiers=_DISPERSION_TIERS, mantissa_bits=mantissa_bits)
+    ts.add("lj12_e", lambda r2: 1.0 / r2**6, tiers=_DISPERSION_TIERS, mantissa_bits=mantissa_bits)
+    ts.add("lj6_e", lambda r2: 1.0 / r2**3, tiers=_DISPERSION_TIERS, mantissa_bits=mantissa_bits)
+    return ts
+
+
+def nonbonded_real_space_tabulated(
+    pairs: NeighborPairs,
+    charges: np.ndarray,
+    type_ids: np.ndarray,
+    lj_table: LJTable,
+    exclusions: ExclusionTable,
+    tables: KernelTableSet,
+) -> NonbondedResult:
+    """Table-driven range-limited forces (the Anton numerics path).
+
+    Functionally parallel to :func:`nonbonded_real_space` with
+    ``lj_mode="cutoff"``; differences from it measure table error
+    (part of Table 4's "numerical force error").
+    """
+    keep = ~exclusions.is_excluded(pairs.i, pairs.j)
+    i, j, dx, r2 = pairs.i[keep], pairs.j[keep], pairs.dx[keep], pairs.r2[keep]
+    qq = charges[i] * charges[j] * COULOMB
+    a, b = lj_table.pair_coefficients(type_ids[i], type_ids[j])
+
+    p = (
+        qq * tables.evaluate("elec_f", r2)
+        + a * tables.evaluate("lj12_f", r2)
+        - b * tables.evaluate("lj6_f", r2)
+    )
+    e_coul = qq * tables.evaluate("elec_e", r2)
+    e_lj = a * tables.evaluate("lj12_e", r2) - b * tables.evaluate("lj6_e", r2)
+    return NonbondedResult(
+        energy_lj=float(np.sum(e_lj)),
+        energy_coul=float(np.sum(e_coul)),
+        i=i,
+        j=j,
+        force=p[:, None] * dx,
+    )

@@ -1,0 +1,82 @@
+"""PPIP-style tabulated kernel evaluation for pairwise interactions.
+
+A PPIP computes pairwise forces as table-driven functions of the squared
+distance (paper Section 4).  :class:`KernelTableSet` bundles the tables a
+simulation needs — real-space electrostatic force/energy and the two
+van der Waals dispersion kernels — indexed by ``u = (r/R)²`` for a
+cutoff ``R``, so the MD nonbonded path can run in "Anton numerics" mode
+and be compared against the analytic double-precision path.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.functions.tables import ANTON_ELECTROSTATIC_TIERS, Tier, TieredTable
+
+__all__ = ["KernelTableSet"]
+
+
+class KernelTableSet:
+    """Tabulated kernels of r² for a fixed interaction cutoff.
+
+    Parameters
+    ----------
+    cutoff:
+        Interaction cutoff R in angstroms; tables span r in
+        (r_floor, R).
+    r_floor:
+        Smallest physical pair distance the tables must represent.
+        Non-excluded nonbonded pairs in condensed-phase MD never
+        approach closer than ~0.8 A.
+    """
+
+    def __init__(self, cutoff: float, r_floor: float = 0.8):
+        if cutoff <= r_floor:
+            raise ValueError(f"cutoff {cutoff} must exceed r_floor {r_floor}")
+        self.cutoff = float(cutoff)
+        self.r_floor = float(r_floor)
+        self.u_floor = (r_floor / cutoff) ** 2
+        self.tables: dict[str, TieredTable] = {}
+
+    def add(
+        self,
+        name: str,
+        f_of_r2: Callable[[np.ndarray], np.ndarray],
+        tiers: Sequence[Tier] = ANTON_ELECTROSTATIC_TIERS,
+        mantissa_bits: int = 22,
+        degree: int = 3,
+    ) -> TieredTable:
+        """Tabulate ``f_of_r2`` (a function of r² in A²) over the cutoff.
+
+        The table stores ``g(u) = f_of_r2(u * R²)`` with the hardware's
+        tiered segmentation; u below the floor is clamped (exclusions
+        guarantee it is never consumed).
+        """
+        r2max = self.cutoff**2
+
+        def g(u: np.ndarray) -> np.ndarray:
+            return f_of_r2(np.asarray(u, dtype=np.float64) * r2max)
+
+        table = TieredTable.build(
+            g,
+            tiers=tiers,
+            degree=degree,
+            mantissa_bits=mantissa_bits,
+            u_floor=self.u_floor,
+        )
+        self.tables[name] = table
+        return table
+
+    def evaluate(self, name: str, r2: np.ndarray | float) -> np.ndarray:
+        """Evaluate a tabulated kernel at squared distances r² (A²)."""
+        u = np.asarray(r2, dtype=np.float64) / self.cutoff**2
+        return self.tables[name].evaluate(np.minimum(u, np.nextafter(1.0, 0.0)))
+
+    def names(self) -> list[str]:
+        return sorted(self.tables)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.tables

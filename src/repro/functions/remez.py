@@ -1,0 +1,165 @@
+"""Remez exchange algorithm for minimax polynomial approximation.
+
+The paper (Section 4): "the Remez exchange algorithm is used to compute
+the minimax polynomial on each segment, after which the coefficients are
+adjusted to make the function continuous across segment boundaries."
+
+This module implements the classic single-exchange Remez iteration for a
+scalar function on an interval, returning coefficients in a *normalized*
+local variable ``t`` in [0, 1] (the form the table hardware evaluates,
+since the segment index supplies the offset).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["MinimaxFit", "remez_fit", "polyval_ascending"]
+
+
+def polyval_ascending(coeffs: np.ndarray, t: np.ndarray | float) -> np.ndarray:
+    """Evaluate a polynomial with ascending-order coefficients by Horner.
+
+    ``coeffs[k]`` multiplies ``t**k`` — the layout used by the table
+    hardware (constant term first, as it is the widest datapath in
+    Figure 4a).
+    """
+    t = np.asarray(t, dtype=np.float64)
+    out = np.full_like(t, coeffs[-1], dtype=np.float64)
+    for c in coeffs[-2::-1]:
+        out = out * t + c
+    return out
+
+
+@dataclass(frozen=True)
+class MinimaxFit:
+    """Result of a minimax fit on [a, b] in normalized t = (x-a)/(b-a)."""
+
+    coeffs: np.ndarray  # ascending order, in t
+    a: float
+    b: float
+    max_error: float
+    iterations: int
+    converged: bool
+
+    def __call__(self, x: np.ndarray | float) -> np.ndarray:
+        t = (np.asarray(x, dtype=np.float64) - self.a) / (self.b - self.a)
+        return polyval_ascending(self.coeffs, t)
+
+
+def _alternating_extrema(err: np.ndarray, k: int) -> np.ndarray | None:
+    """Pick k alternating-sign extremum indices from a dense error grid.
+
+    Maximal runs of constant sign alternate by construction; within each
+    run we take the largest |err|.  If there are more than k runs we
+    keep the contiguous window of k runs whose smallest extremum is
+    largest (preserving alternation).  Returns None if fewer than k runs
+    exist (the iteration has degenerated).
+    """
+    signs = np.sign(err)
+    signs[signs == 0] = 1
+    # Boundaries of maximal constant-sign runs.
+    change = np.nonzero(np.diff(signs))[0] + 1
+    starts = np.concatenate(([0], change))
+    ends = np.concatenate((change, [len(err)]))
+    if len(starts) < k:
+        return None
+    peaks = np.empty(len(starts), dtype=np.int64)
+    for i, (s, e) in enumerate(zip(starts, ends)):
+        peaks[i] = s + int(np.argmax(np.abs(err[s:e])))
+    if len(peaks) == k:
+        return peaks
+    peak_mags = np.abs(err[peaks])
+    best_lo, best_val = 0, -np.inf
+    for lo in range(len(peaks) - k + 1):
+        v = float(np.min(peak_mags[lo : lo + k]))
+        if v > best_val:
+            best_val, best_lo = v, lo
+    return peaks[best_lo : best_lo + k]
+
+
+def remez_fit(
+    f: Callable[[np.ndarray], np.ndarray],
+    a: float,
+    b: float,
+    degree: int = 3,
+    grid: int = 4000,
+    max_iter: int = 40,
+    rel_tol: float = 1e-10,
+) -> MinimaxFit:
+    """Minimax polynomial approximation of ``f`` on [a, b].
+
+    Parameters
+    ----------
+    f:
+        Vectorized function of the original variable ``x``.
+    a, b:
+        Interval endpoints, ``a < b``.
+    degree:
+        Polynomial degree (Anton tables use cubics).
+    grid:
+        Dense evaluation grid size for the exchange step.
+    max_iter:
+        Exchange iteration cap; smooth kernels converge in a handful.
+    rel_tol:
+        Stop when the observed max error and the levelled error E agree
+        to this relative tolerance (equioscillation achieved).
+
+    Returns
+    -------
+    MinimaxFit
+        Coefficients in normalized ``t``; ``max_error`` is measured on
+        the dense grid.
+    """
+    if not b > a:
+        raise ValueError(f"need b > a, got [{a}, {b}]")
+    k = degree + 2
+    ts = np.linspace(0.0, 1.0, grid)
+    fx = np.asarray(f(a + ts * (b - a)), dtype=np.float64)
+    if not np.all(np.isfinite(fx)):
+        raise ValueError("function not finite on the fit interval")
+
+    # Chebyshev extrema as the initial reference (mapped to [0, 1]).
+    ref_t = 0.5 * (1.0 - np.cos(np.pi * np.arange(k) / (k - 1)))
+    ref_idx = np.clip((ref_t * (grid - 1)).round().astype(int), 0, grid - 1)
+    ref_idx = np.unique(ref_idx)
+    while len(ref_idx) < k:  # pathological tiny grids
+        ref_idx = np.unique(np.concatenate([ref_idx, [min(ref_idx[-1] + 1, grid - 1)]]))
+
+    coeffs = np.zeros(degree + 1)
+    converged = False
+    it = 0
+    for it in range(1, max_iter + 1):
+        tr = ts[ref_idx]
+        fr = fx[ref_idx]
+        # Solve p(tr_i) + (-1)^i E = f(tr_i) for coeffs and E.
+        V = np.vander(tr, degree + 1, increasing=True)
+        A = np.column_stack([V, (-1.0) ** np.arange(len(tr))])
+        try:
+            sol = np.linalg.solve(A, fr)
+        except np.linalg.LinAlgError:
+            break
+        coeffs = sol[:-1]
+        E = abs(sol[-1])
+        err = polyval_ascending(coeffs, ts) - fx
+        max_err = float(np.max(np.abs(err)))
+        if max_err <= E * (1.0 + rel_tol) or (max_err - E) <= rel_tol * max(max_err, 1e-300):
+            converged = True
+            break
+        new_idx = _alternating_extrema(err, k)
+        if new_idx is None or np.array_equal(new_idx, ref_idx):
+            break
+        ref_idx = new_idx
+
+    err = polyval_ascending(coeffs, ts) - fx
+    return MinimaxFit(
+        coeffs=coeffs,
+        a=float(a),
+        b=float(b),
+        max_error=float(np.max(np.abs(err))),
+        iterations=it,
+        converged=converged,
+    )

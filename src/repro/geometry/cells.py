@@ -1,0 +1,155 @@
+"""Cell-list neighbor search under periodic boundary conditions.
+
+Produces each within-cutoff pair exactly once.  This is the
+"conventional processor" pair-finding substrate; the simulated machine
+uses the NT method in :mod:`repro.parallel.nt` instead, and the two are
+cross-checked against each other in the integration tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry.pbc import Box
+
+__all__ = ["NeighborPairs", "neighbor_pairs", "brute_force_pairs"]
+
+# Half stencil: 13 offsets such that each unordered cell pair appears once.
+_HALF_STENCIL = np.array(
+    [
+        (1, 0, 0),
+        (0, 1, 0),
+        (0, 0, 1),
+        (1, 1, 0),
+        (1, -1, 0),
+        (1, 0, 1),
+        (1, 0, -1),
+        (0, 1, 1),
+        (0, 1, -1),
+        (1, 1, 1),
+        (1, 1, -1),
+        (1, -1, 1),
+        (1, -1, -1),
+    ],
+    dtype=np.int64,
+)
+
+
+@dataclass(frozen=True)
+class NeighborPairs:
+    """Unique within-cutoff atom pairs and their displacements.
+
+    ``dx`` is the minimum-image displacement ``x[i] - x[j]`` and ``r2``
+    its squared norm; all arrays share the leading pair axis.
+    """
+
+    i: np.ndarray
+    j: np.ndarray
+    dx: np.ndarray
+    r2: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.i)
+
+
+def _filter(positions: np.ndarray, box: Box, ii: np.ndarray, jj: np.ndarray, cutoff: float) -> NeighborPairs:
+    dx = box.minimum_image(positions[ii] - positions[jj])
+    r2 = np.sum(dx * dx, axis=1)
+    keep = r2 < cutoff * cutoff
+    return NeighborPairs(i=ii[keep], j=jj[keep], dx=dx[keep], r2=r2[keep])
+
+
+def brute_force_pairs(
+    positions: np.ndarray, box: Box, cutoff: float, chunk: int = 512
+) -> NeighborPairs:
+    """All-pairs O(N²) search, chunked to bound memory.
+
+    Correct for any cutoff up to ``box.max_cutoff()``; used directly for
+    small or dense-in-cells systems and as the oracle in tests.
+    """
+    n = len(positions)
+    out_i, out_j, out_dx, out_r2 = [], [], [], []
+    c2 = cutoff * cutoff
+    for lo in range(0, n, chunk):
+        hi = min(lo + chunk, n)
+        d = box.minimum_image(positions[lo:hi, None, :] - positions[None, :, :])
+        r2 = np.sum(d * d, axis=2)
+        ii_rel, jj = np.nonzero((r2 < c2) & (np.arange(n)[None, :] > (lo + np.arange(hi - lo))[:, None]))
+        out_i.append(ii_rel + lo)
+        out_j.append(jj)
+        out_dx.append(d[ii_rel, jj])
+        out_r2.append(r2[ii_rel, jj])
+    if not out_i:
+        empty = np.empty(0, dtype=np.int64)
+        return NeighborPairs(empty, empty.copy(), np.empty((0, 3)), np.empty(0))
+    return NeighborPairs(
+        i=np.concatenate(out_i),
+        j=np.concatenate(out_j),
+        dx=np.concatenate(out_dx),
+        r2=np.concatenate(out_r2),
+    )
+
+
+def neighbor_pairs(positions: np.ndarray, box: Box, cutoff: float) -> NeighborPairs:
+    """Unique atom pairs with minimum-image distance < cutoff.
+
+    Uses a cell list when the box admits at least 3 cells per axis,
+    otherwise falls back to the brute-force path.
+    """
+    positions = box.wrap(np.asarray(positions, dtype=np.float64))
+    if cutoff <= 0:
+        raise ValueError("cutoff must be positive")
+    if cutoff > box.max_cutoff():
+        raise ValueError(
+            f"cutoff {cutoff} exceeds the minimum-image limit {box.max_cutoff()}"
+        )
+    ncells = np.floor(box.lengths / cutoff).astype(np.int64)
+    if np.any(ncells < 3) or len(positions) < 64:
+        return brute_force_pairs(positions, box, cutoff)
+
+    cell_size = box.lengths / ncells
+    cidx = np.floor(positions / cell_size).astype(np.int64)
+    cidx = np.minimum(cidx, ncells - 1)  # guard exact-L edge
+    flat = (cidx[:, 0] * ncells[1] + cidx[:, 1]) * ncells[2] + cidx[:, 2]
+
+    order = np.argsort(flat, kind="stable")
+    sorted_atoms = order
+    sorted_flat = flat[order]
+    ntot = int(np.prod(ncells))
+    starts = np.searchsorted(sorted_flat, np.arange(ntot))
+    ends = np.searchsorted(sorted_flat, np.arange(ntot), side="right")
+
+    def cell_atoms(cx: np.ndarray, cy: np.ndarray, cz: np.ndarray) -> int:
+        return (cx * ncells[1] + cy) * ncells[2] + cz
+
+    out_i, out_j = [], []
+    occupied = np.unique(sorted_flat)
+    occ_x = occupied // (ncells[1] * ncells[2])
+    occ_y = (occupied // ncells[2]) % ncells[1]
+    occ_z = occupied % ncells[2]
+    for c, cx, cy, cz in zip(occupied, occ_x, occ_y, occ_z):
+        a = sorted_atoms[starts[c] : ends[c]]
+        # Intra-cell pairs, i < j by position in the cell.
+        if len(a) > 1:
+            ii, jj = np.triu_indices(len(a), k=1)
+            out_i.append(a[ii])
+            out_j.append(a[jj])
+        # Half-stencil neighbor cells.
+        nbr_atoms = []
+        for ox, oy, oz in _HALF_STENCIL:
+            c2flat = cell_atoms((cx + ox) % ncells[0], (cy + oy) % ncells[1], (cz + oz) % ncells[2])
+            if c2flat == c:
+                continue
+            s, e = starts[c2flat], ends[c2flat]
+            if e > s:
+                nbr_atoms.append(sorted_atoms[s:e])
+        if nbr_atoms and len(a):
+            b = np.concatenate(nbr_atoms)
+            out_i.append(np.repeat(a, len(b)))
+            out_j.append(np.tile(b, len(a)))
+    if not out_i:
+        empty = np.empty(0, dtype=np.int64)
+        return NeighborPairs(empty, empty.copy(), np.empty((0, 3)), np.empty(0))
+    return _filter(positions, box, np.concatenate(out_i), np.concatenate(out_j), cutoff)

@@ -1,0 +1,58 @@
+"""Anton hardware constants (paper Section 2.2).
+
+"The ASICs are implemented in 90-nm technology and clocked at 485 MHz,
+with the exception of the PPIP array in the HTIS, which is clocked at
+970 MHz."  Six 50.6 Gbit/s channels connect each node to its torus
+neighbors; the HTIS holds 32 PPIPs fed by 8 match units each.
+
+These numbers parameterize both the functional machine's traffic
+accounting and the calibrated performance model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["AntonHardware", "ANTON_2008"]
+
+
+@dataclass(frozen=True)
+class AntonHardware:
+    """One node's hardware parameters."""
+
+    clock_flexible_hz: float = 485e6
+    clock_ppip_hz: float = 970e6
+    n_ppips: int = 32
+    match_units_per_ppip: int = 8
+    n_geometry_cores: int = 8
+    n_control_processors: int = 4  # Tensilica LX cores
+    n_data_transfer_engines: int = 4
+    link_gbit_per_s: float = 50.6
+    n_channels: int = 6
+    inter_node_latency_s: float = 50e-9  # "tens of nanoseconds"
+    min_message_bytes: int = 4
+    bytes_per_position: int = 12  # three 32-bit fixed-point coordinates
+    bytes_per_force: int = 12
+
+    @property
+    def match_units(self) -> int:
+        return self.n_ppips * self.match_units_per_ppip
+
+    @property
+    def pairs_considered_per_second(self) -> float:
+        """Match-unit throughput: one candidate pair per unit per
+        flexible-clock cycle."""
+        return self.match_units * self.clock_flexible_hz
+
+    @property
+    def interactions_per_second(self) -> float:
+        """PPIP throughput: one interaction per PPIP per PPIP cycle."""
+        return self.n_ppips * self.clock_ppip_hz
+
+    @property
+    def link_bytes_per_s(self) -> float:
+        return self.link_gbit_per_s * 1e9 / 8.0
+
+
+#: The machine as built in October 2008.
+ANTON_2008 = AntonHardware()

@@ -1,0 +1,339 @@
+"""The functional Anton machine simulation.
+
+:class:`AntonMachine` executes real MD time steps the way the hardware
+does: atoms live on home nodes of a torus, every force contribution is
+computed on the node the NT method assigns it to, quantized once, and
+integer-accumulated; mesh charges accumulate in fixed point; the FFT
+is logically distributed; positions/forces/bond-destinations/migration
+traffic is charged to a simulated network.
+
+Because integer addition commutes, the per-node deposit order cannot
+change the force bits — which is exactly the paper's *parallel
+invariance*: "a given simulation will evolve in exactly the same way
+on any single- or multi-node Anton configuration" (Section 4).  The
+integration tests run the same system on 1, 8, and 64 simulated nodes
+and compare trajectories bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.core.constraints import ConstraintSolver
+from repro.core.forces import ForceCalculator, ForceReport, MDParams, MTSForceProvider
+from repro.core.integrator import FixedPointConfig, FixedPointIntegrator
+from repro.core.system import ChemicalSystem
+from repro.fft import DistributedFFT3D
+from repro.fixedpoint import FixedAccumulator
+from repro.machine.config import ANTON_2008, AntonHardware
+from repro.machine.flexible import assign_bond_terms, correction_pairs_per_node
+from repro.parallel import (
+    MigrationSchedule,
+    SimNetwork,
+    SpatialDecomposition,
+    TorusTopology,
+    nt_assign_pairs,
+    tower_plate_boxes,
+)
+
+__all__ = ["MachineForceCalculator", "AntonMachine"]
+
+
+class MachineForceCalculator(ForceCalculator):
+    """A ForceCalculator that deposits every contribution per node.
+
+    Produces bit-identical force codes to the base class (integer sums
+    commute) while exercising the machine's work partitioning and
+    charging communication to the simulated network.
+    """
+
+    def __init__(self, system: ChemicalSystem, params: MDParams, machine: "AntonMachine"):
+        if params.quantize_mesh_bits is None:
+            raise ValueError("machine execution requires quantize_mesh_bits")
+        super().__init__(system, params)
+        self.machine = machine
+
+    # -- helpers -----------------------------------------------------------
+
+    def _deposit_by_node(self, acc: FixedAccumulator, node: np.ndarray, i, j, codes) -> None:
+        """Deposit pair contributions node by node (ascending id)."""
+        order = np.argsort(node, kind="stable")
+        boundaries = np.searchsorted(node[order], np.arange(self.machine.topology.n_nodes + 1))
+        for n in range(self.machine.topology.n_nodes):
+            sel = order[boundaries[n] : boundaries[n + 1]]
+            if len(sel):
+                acc.deposit(i[sel], codes[sel])
+                acc.deposit(j[sel], -codes[sel])
+
+    # -- overridden force paths ---------------------------------------------
+
+    def compute_fixed(self, positions, force_codec, include_long_range: bool = True):
+        s = self.system
+        m = self.machine
+        acc = FixedAccumulator((s.n_atoms, 3), force_codec.fmt)
+        energies: dict[str, float] = {}
+
+        # Range-limited pairs: computed on their NT nodes.
+        nb = self._range_limited(positions)
+        assign = nt_assign_pairs(m.decomp, positions, nb.i, nb.j)
+        codes = force_codec.quantize_round_only(nb.force)
+        self._deposit_by_node(acc, assign.node, nb.i, nb.j, codes)
+        m.account_force_export(assign.node, nb.i, nb.j)
+        m.last_pair_assignment = assign
+        energies["lj"] = nb.energy_lj
+        energies["coulomb_real"] = nb.energy_coul
+
+        # Bond terms on their statically assigned geometry cores.
+        bonded = self._bonded(positions)
+        kinds = ("bond", "angle", "dihedral")
+        cursor = {k: 0 for k in kinds}
+        term_nodes = m.bond_assignment.term_node
+        offset = 0
+        for kind, contrib in zip(kinds, bonded):
+            if contrib.n_terms:
+                t_nodes = term_nodes[offset : offset + contrib.n_terms]
+                c = force_codec.quantize_round_only(contrib.force)
+                for n in np.unique(t_nodes):
+                    sel = t_nodes == n
+                    acc.deposit(contrib.idx[sel].ravel(), c[sel].reshape(-1, 3))
+            offset += contrib.n_terms
+            cursor[kind] = offset
+        energies["bond"] = bonded[0].energy
+        energies["angle"] = bonded[1].energy
+        energies["dihedral"] = bonded[2].energy
+
+        if include_long_range:
+            long_codes, long_energies = self.compute_long_fixed(positions, force_codec)
+            acc.deposit_dense(long_codes)
+            energies.update(long_energies)
+
+        total = self._spread_vsite_codes(acc.total())
+        report = ForceReport(
+            forces=force_codec.reconstruct(total), energies=energies, n_pairs=nb.n_pairs
+        )
+        return total, report
+
+    def compute_long_fixed(self, positions, force_codec):
+        s = self.system
+        m = self.machine
+        acc = FixedAccumulator((s.n_atoms, 3), force_codec.fmt)
+
+        # Correction pairs on their owners' correction pipelines.
+        corr = self._corrections(positions)
+        if corr.n_pairs:
+            ccodes = force_codec.quantize_round_only(corr.force)
+            corr_nodes = m.owners[corr.i]
+            self._deposit_by_node(acc, corr_nodes, corr.i, corr.j, ccodes)
+
+        e_k = 0.0
+        if self.gse is not None:
+            # Charge spreading: each node spreads the atoms it owns into
+            # a shared fixed-point mesh (order-invariant by construction).
+            mesh_acc = np.zeros(self.gse.mesh_point_count(), dtype=np.int64)
+            for n in range(m.topology.n_nodes):
+                mine = m.owners == n
+                if np.any(mine):
+                    self.gse.spread_contributions(
+                        positions[mine], s.charges[mine], mesh_acc, self.mesh_codec
+                    )
+            Q = self.mesh_codec.reconstruct(self.mesh_codec.wrap(mesh_acc)).reshape(
+                tuple(self.gse.mesh)
+            )
+            m.account_fft()
+            phi, e_k = self.gse.solve(Q)
+
+            # Force interpolation, per owning node.
+            for n in range(m.topology.n_nodes):
+                mine = np.nonzero(m.owners == n)[0]
+                if len(mine):
+                    f_k = self.gse.interpolate_forces(positions[mine], s.charges[mine], phi)
+                    acc.deposit(mine, force_codec.quantize_round_only(f_k))
+
+        energies = {
+            "correction": corr.energy_exclusion + corr.energy_14_coul,
+            "lj14": corr.energy_14_lj,
+            "coulomb_kspace": e_k,
+            "coulomb_self": self._e_self,
+        }
+        return acc.raw(), energies
+
+
+class AntonMachine:
+    """A simulated n-node Anton machine running one chemical system.
+
+    Parameters
+    ----------
+    n_nodes:
+        Power-of-two node count (1 to 32768; the paper's flagship is
+        512).  Functional results are bitwise independent of this.
+    subbox_divisions:
+        Subboxes per home box per axis for NT match efficiency.
+    migration_interval:
+        Steps between migration passes (paper: 4-8).
+    """
+
+    def __init__(
+        self,
+        system: ChemicalSystem,
+        params: MDParams = MDParams(),
+        n_nodes: int = 8,
+        dt: float = 2.5,
+        fixed_config: FixedPointConfig = FixedPointConfig(),
+        subbox_divisions: int = 1,
+        migration_interval: int = 4,
+        bond_reassign_interval: int = 100_000,
+        thermostat=None,
+        constraints: bool = True,
+        hw: AntonHardware = ANTON_2008,
+    ):
+        if params.quantize_mesh_bits is None:
+            params = replace(params, quantize_mesh_bits=40)
+        self.system = system
+        self.params = params
+        self.hw = hw
+        self.dt = float(dt)
+        self.topology = TorusTopology.for_node_count(n_nodes)
+        self.network = SimNetwork(self.topology)
+        self.decomp = SpatialDecomposition(system.box, self.topology, subbox_divisions)
+        self.migration = MigrationSchedule(
+            self.decomp, system.topology, interval=migration_interval
+        )
+        self.bond_reassign_interval = int(bond_reassign_interval)
+        self.owners = self.migration.initialize(system.positions)
+        self.bond_assignment = assign_bond_terms(system.topology, self.owners, hw)
+        self.correction_lists = correction_pairs_per_node(system.exclusions, self.owners)
+        self.dfft = None
+        if all(mm % d == 0 for mm, d in zip(params.mesh, self.topology.dims)):
+            self.dfft = DistributedFFT3D(params.mesh, self.topology, self.network)
+        self.calc = MachineForceCalculator(system, params, self)
+        self.provider = MTSForceProvider(self.calc, force_codec=fixed_config.force_codec())
+        solver = None
+        if constraints and system.topology.n_constraints:
+            solver = ConstraintSolver(system.topology, system.masses, system.box)
+        self.last_pair_assignment = None
+        self.integrator = FixedPointIntegrator(
+            system,
+            self.provider,
+            dt,
+            config=fixed_config,
+            constraints=solver,
+            thermostat=thermostat,
+        )
+
+    # -- traffic accounting -------------------------------------------------
+
+    def account_position_import(self) -> None:
+        """Charge the NT position import: whole remote boxes of each
+        node's tower and plate, one multicast message per remote box."""
+        positions = self.integrator.positions
+        coords = self.decomp.box_coord(positions)
+        dims = self.decomp.dims
+        flat = (coords[:, 0] * dims[1] + coords[:, 1]) * dims[2] + coords[:, 2]
+        counts = np.bincount(flat, minlength=self.topology.n_nodes)
+        margin = self.migration.import_margin()
+        reach = self.params.cutoff + margin
+        for node in range(self.topology.n_nodes):
+            tower, plate = tower_plate_boxes(self.decomp, self.topology.coord(node), reach)
+            for bx in tower | plate:
+                src = self.topology.node_id(bx)
+                if src == node or counts[src] == 0:
+                    continue
+                self.network.send(
+                    src,
+                    node,
+                    int(counts[src]) * self.hw.bytes_per_position,
+                    tag="position_import",
+                )
+        # Bond destinations: atoms' positions sent to remote term nodes.
+        n_msgs = self.bond_assignment.destination_messages(self.owners)
+        # Charged as aggregate volume (sources and destinations are
+        # adjacent nodes by construction of the assignment).
+        if n_msgs:
+            self.network.stats.messages += n_msgs
+            self.network.stats.bytes += n_msgs * self.hw.bytes_per_position
+            m, b = self.network.stats.by_tag.get("bond_destinations", (0, 0))
+            self.network.stats.by_tag["bond_destinations"] = (
+                m + n_msgs,
+                b + n_msgs * self.hw.bytes_per_position,
+            )
+
+    def account_force_export(self, pair_nodes: np.ndarray, i: np.ndarray, j: np.ndarray) -> None:
+        """Charge force returns from computing nodes to atom owners."""
+        for atoms in (i, j):
+            owner = self.owners[atoms]
+            remote = pair_nodes != owner
+            if not np.any(remote):
+                continue
+            # One message per (computing node, owner) pair per step,
+            # carrying that route's summed contributions.
+            routes = np.unique(
+                pair_nodes[remote] * np.int64(self.topology.n_nodes) + owner[remote]
+            )
+            n_atoms_exported = len(np.unique(atoms[remote] * np.int64(self.topology.n_nodes**2) + pair_nodes[remote]))
+            for r in routes:
+                self.network.send(
+                    int(r) // self.topology.n_nodes,
+                    int(r) % self.topology.n_nodes,
+                    max(
+                        n_atoms_exported * self.hw.bytes_per_force // max(len(routes), 1),
+                        self.hw.min_message_bytes,
+                    ),
+                    tag="force_export",
+                )
+
+    def account_fft(self) -> None:
+        """Charge forward + inverse FFT redistributions."""
+        if self.dfft is not None:
+            for axis in (2, 1, 0):
+                self.dfft._charge_axis_phase(axis)
+            for axis in (0, 1, 2):
+                self.dfft._charge_axis_phase(axis)
+
+    def account_migration(self, n_migrated: int) -> None:
+        m, b = self.network.stats.by_tag.get("migration", (0, 0))
+        self.network.stats.by_tag["migration"] = (m + n_migrated, b + n_migrated * 64)
+        self.network.stats.messages += n_migrated
+        self.network.stats.bytes += n_migrated * 64
+
+    # -- running ------------------------------------------------------------
+
+    def reassign_bond_terms(self) -> None:
+        """Recompute the static bond-term placement from current owners.
+
+        "To ensure that the bond destinations for each atom remain on
+        nodes close to the atom's home node as the chemical system
+        evolves, we recompute the assignment of bond terms to GCs
+        roughly every 100,000 time steps" (Section 3.2.3).  Placement
+        affects only communication, never the force bits.
+        """
+        self.bond_assignment = assign_bond_terms(self.system.topology, self.owners, self.hw)
+        self.correction_lists = correction_pairs_per_node(self.system.exclusions, self.owners)
+
+    def step(self, n: int = 1) -> None:
+        """Advance n machine time steps."""
+        for _ in range(n):
+            self.account_position_import()
+            self.integrator.step()
+            event = self.migration.step(self.integrator.positions)
+            if event is not None:
+                self.account_migration(event.n_migrated)
+                self.owners = self.migration.owners
+            if self.integrator.step_count % self.bond_reassign_interval == 0:
+                self.reassign_bond_terms()
+
+    @property
+    def positions(self) -> np.ndarray:
+        return self.integrator.positions
+
+    def state_codes(self):
+        return self.integrator.state_codes()
+
+    def traffic_summary(self) -> dict[str, tuple[int, int]]:
+        """(messages, bytes) per traffic class since construction."""
+        return dict(self.network.stats.by_tag)
+
+    def messages_per_node_per_step(self) -> float:
+        steps = max(self.integrator.step_count, 1)
+        return self.network.stats.messages / (steps * self.topology.n_nodes)

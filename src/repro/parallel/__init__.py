@@ -1,0 +1,30 @@
+"""Parallelization substrate: torus topology, simulated network,
+spatial decomposition, the NT method, the half-shell baseline, and
+deferred migration."""
+
+from repro.parallel.comm import NetworkStats, SimNetwork
+from repro.parallel.decomposition import SpatialDecomposition
+from repro.parallel.halfshell import half_shell_assign_pairs, half_shell_boxes
+from repro.parallel.migration import MigrationEvent, MigrationSchedule
+from repro.parallel.nt import (
+    NTAssignment,
+    match_efficiency,
+    nt_assign_pairs,
+    tower_plate_boxes,
+)
+from repro.parallel.topology import TorusTopology
+
+__all__ = [
+    "NetworkStats",
+    "SimNetwork",
+    "SpatialDecomposition",
+    "half_shell_assign_pairs",
+    "half_shell_boxes",
+    "MigrationEvent",
+    "MigrationSchedule",
+    "NTAssignment",
+    "match_efficiency",
+    "nt_assign_pairs",
+    "tower_plate_boxes",
+    "TorusTopology",
+]

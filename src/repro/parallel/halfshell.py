@@ -1,0 +1,81 @@
+"""The traditional half-shell parallelization — the NT baseline.
+
+Figure 3b: "each node computes interactions between atoms in its home
+box and atoms in a larger 'half-shell' region".  Pairs are computed on
+the home node of one of their atoms (never neutral territory), and the
+import region is the half of the cutoff shell around the home box —
+asymptotically larger than the NT import region as parallelism grows.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.parallel.decomposition import SpatialDecomposition
+from repro.parallel.nt import NTAssignment, _wrapped_delta
+
+__all__ = ["half_shell_assign_pairs", "half_shell_boxes"]
+
+
+def half_shell_assign_pairs(
+    decomp: SpatialDecomposition,
+    positions: np.ndarray,
+    i: np.ndarray,
+    j: np.ndarray,
+) -> NTAssignment:
+    """Assign each pair to a home node under the half-shell rule.
+
+    The pair runs on the node of the atom whose box displacement to
+    the other lies in the canonical upper half-space (lexicographic
+    (dz, dy, dx) > 0); within one box, on that box's node.  Exactly one
+    node claims each pair; ``neutral`` is always False (the defining
+    contrast with the NT method).
+    """
+    dims = decomp.dims
+    ca = decomp.box_coord(positions[i])
+    cb = decomp.box_coord(positions[j])
+    dx, tx = _wrapped_delta(ca[:, 0], cb[:, 0], int(dims[0]))
+    dy, ty = _wrapped_delta(ca[:, 1], cb[:, 1], int(dims[1]))
+    dz, tz = _wrapped_delta(ca[:, 2], cb[:, 2], int(dims[2]))
+    sx = np.where(tx, np.where(ca[:, 0] < cb[:, 0], 1, -1), np.sign(dx)).astype(np.int64)
+    sy = np.where(ty, np.where(ca[:, 1] < cb[:, 1], 1, -1), np.sign(dy)).astype(np.int64)
+    sz = np.where(tz, np.where(ca[:, 2] < cb[:, 2], 1, -1), np.sign(dz)).astype(np.int64)
+
+    b_is_upper = (sz > 0) | ((sz == 0) & ((sy > 0) | ((sy == 0) & (sx >= 0))))
+    owner = np.where(b_is_upper[:, None], ca, cb)
+    node = (owner[:, 0] * dims[1] + owner[:, 1]) * dims[2] + owner[:, 2]
+    return NTAssignment(node=node, neutral=np.zeros(len(node), dtype=bool))
+
+
+def half_shell_boxes(
+    decomp: SpatialDecomposition, node_coord: tuple[int, int, int], cutoff: float
+) -> set[tuple[int, int, int]]:
+    """Import-region boxes of the half-shell method (home box included).
+
+    All boxes within the cutoff of the home box whose displacement is
+    in the canonical upper half-space.
+    """
+    dims = decomp.dims
+    nb = decomp.node_box
+    nx, ny, nz = node_coord
+    reach = [int(math.ceil(cutoff / nb[a])) for a in range(3)]
+    out: set[tuple[int, int, int]] = {(nx, ny, nz)}
+    for dz in range(0, reach[2] + 1):
+        for dy in range(-reach[1], reach[1] + 1):
+            for dx in range(-reach[0], reach[0] + 1):
+                if (dz, dy, dx) == (0, 0, 0):
+                    continue
+                if not (dz > 0 or (dz == 0 and (dy > 0 or (dy == 0 and dx > 0)))):
+                    continue
+                gap = [max(abs(d) - 1, 0) * nb[a] for a, d in enumerate((dx, dy, dz))]
+                if sum(g * g for g in gap) < cutoff**2:
+                    out.add(
+                        (
+                            int((nx + dx) % dims[0]),
+                            int((ny + dy) % dims[1]),
+                            int((nz + dz) % dims[2]),
+                        )
+                    )
+    return out

@@ -1,0 +1,31 @@
+"""Performance modeling: workload counting and calibrated x86/Anton
+cost models reproducing Tables 1-2 and Figure 5."""
+
+from repro.perf.antonmodel import AntonModel
+from repro.perf.model import (
+    DESMOND_DHFR_NS_PER_DAY,
+    TABLE1_SIMULATIONS,
+    PerformanceModel,
+    PublishedSimulation,
+)
+from repro.perf.workload import (
+    StepWorkload,
+    workload_from_counts,
+    workload_from_spec,
+    workload_from_system,
+)
+from repro.perf.x86model import TaskProfile, X86Model
+
+__all__ = [
+    "AntonModel",
+    "DESMOND_DHFR_NS_PER_DAY",
+    "TABLE1_SIMULATIONS",
+    "PerformanceModel",
+    "PublishedSimulation",
+    "StepWorkload",
+    "workload_from_counts",
+    "workload_from_spec",
+    "workload_from_system",
+    "TaskProfile",
+    "X86Model",
+]

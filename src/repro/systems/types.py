@@ -1,0 +1,51 @@
+"""Global LJ atom-type registry for the synthetic systems.
+
+One shared enumeration keeps every builder's ``type_ids`` compatible
+with a single :class:`~repro.forcefield.parameters.LJTable`, so systems
+can be composed (protein + water + ions) without re-indexing.
+"""
+
+from __future__ import annotations
+
+from repro.forcefield import LJTable
+
+__all__ = [
+    "WATER_O",
+    "WATER_H",
+    "WATER_M",
+    "PROT_C",
+    "PROT_N",
+    "PROT_O",
+    "PROT_H",
+    "ION_CL",
+    "BEAD_HYDROPHOBIC",
+    "BEAD_POLAR",
+    "standard_lj_table",
+]
+
+WATER_O = 0
+WATER_H = 1
+WATER_M = 2
+PROT_C = 3
+PROT_N = 4
+PROT_O = 5
+PROT_H = 6
+ION_CL = 7
+BEAD_HYDROPHOBIC = 8
+BEAD_POLAR = 9
+
+#: (sigma A, epsilon kcal/mol) per type id.  Water O values are
+#: overridden per water model by the builder; the rest are generic
+#: AMBER-like magnitudes for the synthetic protein atoms, and the two
+#: bead types parameterize the HP folding mini-protein.
+_SIGMAS = [3.15061, 0.0, 0.0, 3.40, 3.25, 2.96, 1.07, 4.40, 4.70, 4.70]
+_EPSILONS = [0.1521, 0.0, 0.0, 0.086, 0.17, 0.21, 0.0157, 0.10, 1.00, 0.05]
+
+
+def standard_lj_table(water_sigma_o: float = 3.15061, water_eps_o: float = 0.1521) -> LJTable:
+    """The shared LJ table, with the water-model oxygen slot filled in."""
+    sigmas = list(_SIGMAS)
+    epsilons = list(_EPSILONS)
+    sigmas[WATER_O] = water_sigma_o
+    epsilons[WATER_O] = water_eps_o
+    return LJTable(sigmas, epsilons)

@@ -1,0 +1,46 @@
+"""Physical constants and unit conventions.
+
+The library uses the "academic MD" unit system throughout:
+
+* length   : angstrom (A)
+* time     : femtosecond (fs)
+* energy   : kcal/mol
+* mass     : atomic mass unit (amu)
+* charge   : elementary charge (e)
+* temperature : kelvin (K)
+
+Forces are therefore kcal/mol/A, and accelerations require the
+conversion factor :data:`ACCEL_UNIT` below.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Coulomb constant, kcal * A / (mol * e^2).
+COULOMB: float = 332.063711
+
+#: Boltzmann constant, kcal / (mol * K).
+BOLTZMANN: float = 0.0019872041
+
+#: Conversion from (kcal/mol/A) / amu to acceleration in A/fs^2.
+#:
+#: 1 kcal/mol/A = 4184 J/mol / 1e-10 m; dividing by 1 amu = 1e-3 kg/mol
+#: gives 4.184e16 m/s^2 = 4.184e-4 A/fs^2.
+ACCEL_UNIT: float = 4.184e-4
+
+#: Femtoseconds per microsecond (used for energy-drift unit conversions).
+FS_PER_US: float = 1.0e9
+
+#: Seconds in a day (used for "simulated us/day" performance figures).
+SECONDS_PER_DAY: float = 86400.0
+
+#: sqrt(2*pi), used by Gaussian charge-spreading kernels.
+SQRT_2PI: float = math.sqrt(2.0 * math.pi)
+
+#: Approximate number density of atoms in water at ambient conditions,
+#: atoms per cubic angstrom (3 atoms per ~29.9 A^3 molecule volume).
+WATER_ATOM_DENSITY: float = 0.1003
+
+#: Approximate number density of water molecules, molecules per A^3.
+WATER_MOLECULE_DENSITY: float = 0.03343

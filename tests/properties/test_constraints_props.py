@@ -1,0 +1,76 @@
+"""Property-based tests of the SHAKE/RATTLE solver."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ConstraintSolver
+from repro.forcefield import TIP3P, Topology, add_water_to_topology, water_site_positions
+from repro.geometry import Box
+
+
+def water_cluster(n_waters, seed):
+    rng = np.random.default_rng(seed)
+    box = Box.cubic(30.0)
+    top = Topology(3 * n_waters)
+    pos = np.empty((3 * n_waters, 3))
+    local = water_site_positions(TIP3P)
+    for i in range(n_waters):
+        add_water_to_topology(top, 3 * i, TIP3P)
+        pos[3 * i : 3 * i + 3] = local + rng.uniform(3, 27, 3)
+    masses = np.tile([15.9994, 1.008, 1.008], n_waters)
+    return box, top, pos, masses
+
+
+@given(
+    n_waters=st.integers(1, 6),
+    seed=st.integers(0, 2**31 - 1),
+    noise=st.floats(0.001, 0.06),
+)
+@settings(max_examples=40, deadline=None)
+def test_shake_converges_from_random_perturbation(n_waters, seed, noise):
+    box, top, pos, masses = water_cluster(n_waters, seed)
+    solver = ConstraintSolver(top, masses, box)
+    rng = np.random.default_rng(seed + 1)
+    bad = pos + rng.normal(0, noise, pos.shape)
+    solver.shake(bad, pos)
+    assert solver.max_residual(bad) < 1e-8
+
+
+@given(n_waters=st.integers(1, 6), seed=st.integers(0, 2**31 - 1))
+@settings(max_examples=40, deadline=None)
+def test_rattle_leaves_constraint_orthogonal_velocities(n_waters, seed):
+    box, top, pos, masses = water_cluster(n_waters, seed)
+    solver = ConstraintSolver(top, masses, box)
+    rng = np.random.default_rng(seed + 2)
+    vel = rng.normal(0, 0.02, pos.shape)
+    solver.rattle(vel, pos)
+    i, j = solver.idx[:, 0], solver.idx[:, 1]
+    dx = box.minimum_image(pos[i] - pos[j])
+    rv = np.sum(dx * (vel[i] - vel[j]), axis=1)
+    assert np.max(np.abs(rv)) < 1e-10
+
+
+@given(n_waters=st.integers(1, 5), seed=st.integers(0, 2**31 - 1))
+@settings(max_examples=30, deadline=None)
+def test_shake_preserves_momentum(n_waters, seed):
+    box, top, pos, masses = water_cluster(n_waters, seed)
+    solver = ConstraintSolver(top, masses, box)
+    rng = np.random.default_rng(seed + 3)
+    bad = pos + rng.normal(0, 0.03, pos.shape)
+    com0 = np.sum(masses[:, None] * bad, axis=0)
+    solver.shake(bad, pos)
+    com1 = np.sum(masses[:, None] * bad, axis=0)
+    np.testing.assert_allclose(com0, com1, atol=1e-8)
+
+
+@given(n_waters=st.integers(1, 4), seed=st.integers(0, 2**31 - 1))
+@settings(max_examples=30, deadline=None)
+def test_shake_deterministic(n_waters, seed):
+    box, top, pos, masses = water_cluster(n_waters, seed)
+    solver = ConstraintSolver(top, masses, box)
+    rng = np.random.default_rng(seed + 4)
+    bad = pos + rng.normal(0, 0.02, pos.shape)
+    a = solver.shake(bad.copy(), pos)
+    b = solver.shake(bad.copy(), pos)
+    np.testing.assert_array_equal(a, b)

@@ -1,0 +1,87 @@
+"""Property-based tests of fixed-point arithmetic invariants.
+
+These are the properties the paper's Section 4 leans on: associativity
+(and hence order-invariance) of wrapping addition, odd symmetry of
+rounding (exact reversibility), and correctness of sums whose partial
+results wrap (footnote 2).
+"""
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.fixedpoint import FixedFormat, ScaledFixed, round_nearest_even, wrapping_sum
+
+fmt_bits = st.integers(min_value=4, max_value=48)
+
+
+@given(
+    bits=fmt_bits,
+    values=st.lists(st.floats(-0.999, 0.999, allow_nan=False), min_size=2, max_size=30),
+    seed=st.integers(0, 2**31 - 1),
+)
+@settings(max_examples=100, deadline=None)
+def test_wrapping_sum_is_order_invariant(bits, values, seed):
+    fmt = FixedFormat(bits)
+    codes = fmt.encode(np.array(values))
+    rng = np.random.default_rng(seed)
+    shuffled = codes[rng.permutation(len(codes))]
+    assert wrapping_sum(codes, fmt) == wrapping_sum(shuffled, fmt)
+
+
+@given(
+    bits=fmt_bits,
+    values=st.lists(st.floats(-0.999, 0.999, allow_nan=False), min_size=2, max_size=20),
+)
+@settings(max_examples=100, deadline=None)
+def test_wrapping_sum_correct_when_final_sum_representable(bits, values):
+    fmt = FixedFormat(bits)
+    codes = fmt.encode(np.array(values))
+    true_code_sum = int(np.sum(codes.astype(object)))  # exact integer sum
+    if fmt.min_code <= true_code_sum <= fmt.max_code:
+        assert int(wrapping_sum(codes, fmt)) == true_code_sum
+
+
+@given(x=st.floats(-1e12, 1e12, allow_nan=False))
+def test_round_nearest_even_odd_symmetry(x):
+    assert round_nearest_even(-x) == -round_nearest_even(x)
+
+
+@given(x=st.floats(-1e9, 1e9, allow_nan=False))
+def test_round_nearest_even_within_half(x):
+    assert abs(round_nearest_even(x) - x) <= 0.5
+
+
+@given(bits=fmt_bits, x=st.floats(-0.9999, 0.9999, allow_nan=False))
+def test_encode_decode_within_half_step(bits, x):
+    fmt = FixedFormat(bits)
+    # Values that round up to the unrepresentable +1.0 wrap (hardware
+    # two's-complement behaviour); exclude them from the error bound.
+    assume(round_nearest_even(x * fmt.scale) <= fmt.max_code)
+    assert abs(float(fmt.decode(fmt.encode(x))) - x) <= 0.5 * fmt.resolution + 1e-18
+
+
+@given(bits=fmt_bits, raw=st.integers(-(2**62), 2**62))
+def test_wrap_is_idempotent_and_in_range(bits, raw):
+    fmt = FixedFormat(bits)
+    wrapped = fmt.wrap(np.int64(raw))
+    assert fmt.representable(wrapped)
+    assert int(fmt.wrap(wrapped)) == int(wrapped)
+
+
+@given(bits=fmt_bits, a=st.integers(-(2**40), 2**40), b=st.integers(-(2**40), 2**40))
+def test_add_congruent_modulo_2B(bits, a, b):
+    fmt = FixedFormat(bits)
+    out = int(fmt.add(np.int64(a), np.int64(b)))
+    assert (out - (a + b)) % (1 << bits) == 0
+
+
+@given(
+    limit=st.floats(1e-3, 1e6, allow_nan=False, allow_infinity=False),
+    q=st.floats(-0.99, 0.99),
+    bits=st.integers(8, 48),
+)
+def test_scaled_negation_symmetry(limit, q, bits):
+    codec = ScaledFixed(FixedFormat(bits), limit=limit)
+    phys = q * limit
+    assert int(codec.quantize(-phys)) == -int(codec.quantize(phys))

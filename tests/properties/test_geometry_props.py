@@ -1,0 +1,84 @@
+"""Property-based tests for periodic geometry invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.geometry import Box, brute_force_pairs, neighbor_pairs
+
+sides = st.floats(5.0, 60.0, allow_nan=False)
+
+
+def positions_strategy(n_min=2, n_max=30):
+    return st.integers(n_min, n_max).flatmap(
+        lambda n: arrays(
+            np.float64,
+            (n, 3),
+            elements=st.floats(-100.0, 100.0, allow_nan=False, allow_infinity=False),
+        )
+    )
+
+
+@given(side=sides, d=arrays(np.float64, (5, 3), elements=st.floats(-500, 500, allow_nan=False)))
+def test_minimum_image_within_half_box(side, d):
+    box = Box.cubic(side)
+    m = box.minimum_image(d)
+    assert np.all(np.abs(m) <= side / 2 + 1e-9)
+
+
+@given(side=sides, pos=positions_strategy())
+def test_wrap_idempotent_and_in_range(side, pos):
+    box = Box.cubic(side)
+    w = box.wrap(pos)
+    assert np.all((w >= 0) & (w < side))
+    np.testing.assert_allclose(box.wrap(w), w, atol=1e-12)
+
+
+@given(side=sides, pos=positions_strategy())
+def test_distance_symmetric(side, pos):
+    box = Box.cubic(side)
+    d_ab = box.distance(pos[0], pos[1])
+    d_ba = box.distance(pos[1], pos[0])
+    assert d_ab == d_ba
+
+
+@given(
+    side=st.floats(10.0, 40.0),
+    pos=positions_strategy(4, 25),
+    shift=arrays(np.float64, (3,), elements=st.floats(-50, 50, allow_nan=False)),
+)
+@settings(max_examples=40, deadline=None)
+def test_pair_list_translation_invariant(side, pos, shift):
+    """Translating everything rigidly leaves the pair set unchanged."""
+    box = Box.cubic(side)
+    cutoff = side / 3.0
+    base = {(min(a, b), max(a, b)) for a, b in zip(*_ij(neighbor_pairs(pos, box, cutoff)))}
+    moved = {(min(a, b), max(a, b)) for a, b in zip(*_ij(neighbor_pairs(pos + shift, box, cutoff)))}
+    assert base == moved
+
+
+def _ij(p):
+    return p.i, p.j
+
+
+@given(side=st.floats(12.0, 40.0), pos=positions_strategy(4, 40))
+@settings(max_examples=30, deadline=None)
+def test_cell_list_equals_brute_force(side, pos):
+    box = Box.cubic(side)
+    cutoff = side / 3.5
+    a = neighbor_pairs(pos, box, cutoff)
+    b = brute_force_pairs(box.wrap(pos), box, cutoff)
+    sa = {(min(i, j), max(i, j)) for i, j in zip(a.i, a.j)}
+    sb = {(min(i, j), max(i, j)) for i, j in zip(b.i, b.j)}
+    assert sa == sb
+
+
+@given(side=st.floats(12.0, 40.0), pos=positions_strategy(4, 30))
+@settings(max_examples=30, deadline=None)
+def test_pair_distances_below_cutoff(side, pos):
+    box = Box.cubic(side)
+    cutoff = side / 4.0
+    p = neighbor_pairs(pos, box, cutoff)
+    assert np.all(p.r2 < cutoff * cutoff)
+    assert np.all(p.i != p.j)

@@ -1,0 +1,45 @@
+"""Smoke tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCLI:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "SC 2009" in out
+        assert "Table 3" in out
+
+    def test_perf_default(self, capsys):
+        assert main(["perf"]) == 0
+        out = capsys.readouterr().out
+        assert "DHFR" in out
+        assert "us/day" in out
+
+    def test_perf_profile(self, capsys):
+        assert main(["perf", "--system", "gpW", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "Range-limited forces" in out
+
+    def test_perf_unknown_system(self):
+        with pytest.raises(KeyError):
+            main(["perf", "--system", "nosuch"])
+
+    def test_simulate_small_water(self, capsys):
+        assert main(["simulate", "--system", "water", "--waters", "8",
+                     "--steps", "4", "--record-every", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "minimized potential energy" in out
+        assert "E_total" in out
+
+    def test_machine_with_invariance(self, capsys):
+        assert main(["machine", "--nodes", "8", "--waters", "16", "--steps", "2",
+                     "--check-invariance"]) == 0
+        out = capsys.readouterr().out
+        assert "bitwise identical to the 1-node machine: True" in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,79 @@
+"""Unit tests for checkpoint/restore (bitwise continuation)."""
+
+import numpy as np
+import pytest
+
+from repro.core import MDParams, Simulation, minimize_energy
+from repro.systems import build_water_box
+
+PARAMS = MDParams(cutoff=4.2, mesh=(16, 16, 16), long_range_every=2)
+
+
+@pytest.fixture(scope="module")
+def system():
+    s = build_water_box(n_molecules=24, seed=21)
+    minimize_energy(s, PARAMS, max_steps=40)
+    s.initialize_velocities(300.0, seed=22)
+    return s
+
+
+class TestCheckpoint:
+    def test_bitwise_continuation_fixed(self, system):
+        # Continuous run of 16 steps...
+        ref = Simulation(system.copy(), PARAMS, dt=1.0, mode="fixed")
+        ref.run(16)
+        ref_codes = ref.integrator.state_codes()
+
+        # ...equals 8 steps + checkpoint + restore into a fresh object + 8.
+        first = Simulation(system.copy(), PARAMS, dt=1.0, mode="fixed")
+        first.run(8)
+        chk = first.checkpoint()
+
+        resumed = Simulation(system.copy(), PARAMS, dt=1.0, mode="fixed")
+        resumed.restore(chk)
+        resumed.run(8)
+        codes = resumed.integrator.state_codes()
+        assert np.array_equal(codes[0], ref_codes[0])
+        assert np.array_equal(codes[1], ref_codes[1])
+
+    def test_mts_phase_preserved(self, system):
+        # Checkpoint at an odd step: the restored run must keep the
+        # long-range schedule phase (k=2).
+        ref = Simulation(system.copy(), PARAMS, dt=1.0, mode="fixed")
+        ref.run(13)
+        ref_codes = ref.integrator.state_codes()
+
+        first = Simulation(system.copy(), PARAMS, dt=1.0, mode="fixed")
+        first.run(7)
+        chk = first.checkpoint()
+        resumed = Simulation(system.copy(), PARAMS, dt=1.0, mode="fixed")
+        resumed.restore(chk)
+        resumed.run(6)
+        assert np.array_equal(resumed.integrator.state_codes()[0], ref_codes[0])
+
+    def test_float_mode_continuation(self, system):
+        ref = Simulation(system.copy(), PARAMS, dt=1.0, mode="float")
+        ref.run(10)
+
+        first = Simulation(system.copy(), PARAMS, dt=1.0, mode="float")
+        first.run(5)
+        chk = first.checkpoint()
+        resumed = Simulation(system.copy(), PARAMS, dt=1.0, mode="float")
+        resumed.restore(chk)
+        resumed.run(5)
+        np.testing.assert_array_equal(resumed.integrator.positions, ref.integrator.positions)
+
+    def test_mode_mismatch_rejected(self, system):
+        sim = Simulation(system.copy(), PARAMS, dt=1.0, mode="fixed")
+        chk = sim.checkpoint()
+        other = Simulation(system.copy(), PARAMS, dt=1.0, mode="float")
+        with pytest.raises(ValueError):
+            other.restore(chk)
+
+    def test_step_count_restored(self, system):
+        sim = Simulation(system.copy(), PARAMS, dt=1.0, mode="fixed")
+        sim.run(6)
+        chk = sim.checkpoint()
+        resumed = Simulation(system.copy(), PARAMS, dt=1.0, mode="fixed")
+        resumed.restore(chk)
+        assert resumed.integrator.step_count == 6

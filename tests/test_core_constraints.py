@@ -1,0 +1,101 @@
+"""Unit tests for the SHAKE/RATTLE constraint solver."""
+
+import numpy as np
+import pytest
+
+from repro.core import ConstraintSolver
+from repro.forcefield import TIP3P, Topology, add_water_to_topology, water_site_positions
+from repro.geometry import Box
+
+
+def water_system(n_waters=3, seed=0):
+    rng = np.random.default_rng(seed)
+    box = Box.cubic(20.0)
+    top = Topology(3 * n_waters)
+    positions = np.empty((3 * n_waters, 3))
+    local = water_site_positions(TIP3P)
+    for i in range(n_waters):
+        add_water_to_topology(top, 3 * i, TIP3P)
+        positions[3 * i : 3 * i + 3] = local + rng.uniform(3, 17, 3)
+    masses = np.tile([15.9994, 1.008, 1.008], n_waters)
+    return box, top, positions, masses
+
+
+class TestShake:
+    def test_restores_geometry_after_perturbation(self):
+        box, top, pos, masses = water_system()
+        solver = ConstraintSolver(top, masses, box)
+        ref = pos.copy()
+        rng = np.random.default_rng(1)
+        pos_bad = pos + rng.normal(0, 0.05, pos.shape)
+        solver.shake(pos_bad, ref)
+        assert solver.max_residual(pos_bad) < 1e-9
+
+    def test_no_constraints_noop(self):
+        box = Box.cubic(10.0)
+        solver = ConstraintSolver(Topology(3), np.ones(3), box)
+        pos = np.random.default_rng(0).uniform(0, 10, (3, 3))
+        out = solver.shake(pos.copy(), pos)
+        np.testing.assert_array_equal(out, pos)
+        assert solver.max_residual(pos) == 0.0
+
+    def test_preserves_center_of_mass(self):
+        box, top, pos, masses = water_system(n_waters=1)
+        solver = ConstraintSolver(top, masses, box)
+        rng = np.random.default_rng(2)
+        bad = pos + rng.normal(0, 0.03, pos.shape)
+        com_before = np.average(bad, axis=0, weights=masses)
+        solver.shake(bad, pos)
+        com_after = np.average(bad, axis=0, weights=masses)
+        np.testing.assert_allclose(com_before, com_after, atol=1e-10)
+
+    def test_constraint_across_periodic_boundary(self):
+        box = Box.cubic(10.0)
+        top = Topology(2)
+        top.add_constraint(0, 1, 1.0)
+        pos = np.array([[0.2, 5.0, 5.0], [9.7, 5.0, 5.0]])  # 0.5 apart via PBC
+        solver = ConstraintSolver(top, np.array([12.0, 1.0]), box)
+        solver.shake(pos, pos.copy())
+        assert box.distance(pos[0], pos[1]) == pytest.approx(1.0, abs=1e-6)
+
+    def test_massless_pair_rejected(self):
+        box = Box.cubic(10.0)
+        top = Topology(2)
+        top.add_constraint(0, 1, 1.0)
+        with pytest.raises(ValueError):
+            ConstraintSolver(top, np.array([0.0, 0.0]), box)
+
+
+class TestRattle:
+    def test_removes_bond_direction_velocity(self):
+        box, top, pos, masses = water_system(n_waters=1)
+        solver = ConstraintSolver(top, masses, box)
+        rng = np.random.default_rng(3)
+        vel = rng.normal(0, 0.01, pos.shape)
+        solver.rattle(vel, pos)
+        i, j = solver.idx[:, 0], solver.idx[:, 1]
+        dx = box.minimum_image(pos[i] - pos[j])
+        rv = np.sum(dx * (vel[i] - vel[j]), axis=1)
+        np.testing.assert_allclose(rv, 0.0, atol=1e-10)
+
+    def test_preserves_momentum(self):
+        box, top, pos, masses = water_system(n_waters=2)
+        solver = ConstraintSolver(top, masses, box)
+        rng = np.random.default_rng(4)
+        vel = rng.normal(0, 0.01, pos.shape)
+        p0 = np.sum(masses[:, None] * vel, axis=0)
+        solver.rattle(vel, pos)
+        p1 = np.sum(masses[:, None] * vel, axis=0)
+        np.testing.assert_allclose(p0, p1, atol=1e-12)
+
+    def test_rigid_rotation_untouched(self):
+        # Rigid-body rotation satisfies all constraints; RATTLE must
+        # leave it alone.
+        box, top, pos, masses = water_system(n_waters=1)
+        solver = ConstraintSolver(top, masses, box)
+        omega = np.array([0.0, 0.0, 0.02])
+        com = np.average(pos, axis=0, weights=masses)
+        vel = np.cross(omega, pos - com)
+        before = vel.copy()
+        solver.rattle(vel, pos)
+        np.testing.assert_allclose(vel, before, atol=1e-12)

@@ -1,0 +1,100 @@
+"""Unit tests for ChemicalSystem."""
+
+import numpy as np
+import pytest
+
+from repro.core import ChemicalSystem
+from repro.forcefield import TIP4PEW, LJTable, Topology, add_water_to_topology
+from repro.geometry import Box
+from repro.systems import build_water_box
+from repro.util import BOLTZMANN
+
+
+def tiny_system(n=4, box_side=10.0):
+    return ChemicalSystem(
+        box=Box.cubic(box_side),
+        positions=np.random.default_rng(0).uniform(0, box_side, (n, 3)),
+        masses=np.full(n, 12.0),
+        charges=np.zeros(n),
+        type_ids=np.zeros(n, dtype=np.int64),
+        lj=LJTable([3.0], [0.1]),
+        topology=Topology(n),
+    )
+
+
+class TestChemicalSystem:
+    def test_basic_properties(self):
+        s = tiny_system()
+        assert s.n_atoms == 4
+        assert s.n_dof == 9  # 3*4 - 0 constraints - 3 COM
+        assert np.all(s.massive)
+
+    def test_length_validation(self):
+        with pytest.raises(ValueError):
+            ChemicalSystem(
+                box=Box.cubic(10.0),
+                positions=np.zeros((3, 3)),
+                masses=np.ones(2),
+                charges=np.zeros(3),
+                type_ids=np.zeros(3, np.int64),
+                lj=LJTable([3.0], [0.1]),
+                topology=Topology(3),
+            )
+
+    def test_massless_must_be_vsites(self):
+        with pytest.raises(ValueError):
+            ChemicalSystem(
+                box=Box.cubic(10.0),
+                positions=np.zeros((2, 3)),
+                masses=np.array([12.0, 0.0]),
+                charges=np.zeros(2),
+                type_ids=np.zeros(2, np.int64),
+                lj=LJTable([3.0], [0.1]),
+                topology=Topology(2),
+            )
+
+    def test_kinetic_energy_and_temperature(self):
+        s = tiny_system()
+        s.velocities = np.full((4, 3), 0.01)
+        ke = s.kinetic_energy()
+        assert ke > 0
+        assert s.temperature() == pytest.approx(2 * ke / (9 * BOLTZMANN))
+
+    def test_initialize_velocities_hits_target(self):
+        s = build_water_box(n_molecules=40, seed=0)
+        s.initialize_velocities(300.0, seed=1)
+        assert s.temperature() == pytest.approx(300.0, rel=1e-6)
+        # Net momentum removed.
+        p = np.sum(s.masses[:, None] * s.velocities, axis=0)
+        np.testing.assert_allclose(p, 0.0, atol=1e-10)
+
+    def test_vsites_get_zero_velocity(self):
+        from repro.forcefield import TIP4PEW
+
+        s = build_water_box(n_molecules=10, model=TIP4PEW, seed=0)
+        s.initialize_velocities(300.0, seed=1)
+        np.testing.assert_array_equal(s.velocities[~s.massive], 0.0)
+
+    def test_place_and_spread_virtual_sites_adjoint(self):
+        # Energy consistency: spread is the transpose of place, so
+        # F_parent . dx_parent == F_vsite . dx_vsite for linear maps.
+        s = build_water_box(n_molecules=5, model=TIP4PEW, seed=2)
+        pos = s.positions.copy()
+        s.place_virtual_sites(pos)
+        rng = np.random.default_rng(3)
+        f = rng.normal(size=pos.shape)
+        f_sp = s.spread_virtual_site_forces(f.copy())
+        np.testing.assert_array_equal(f_sp[~s.massive], 0.0)
+        # Total force conserved.
+        np.testing.assert_allclose(f_sp.sum(axis=0), f.sum(axis=0), atol=1e-12)
+
+    def test_copy_isolates_state(self):
+        s = tiny_system()
+        c = s.copy()
+        c.positions[0, 0] += 1.0
+        assert s.positions[0, 0] != c.positions[0, 0]
+
+    def test_n_dof_counts_constraints(self):
+        s = build_water_box(n_molecules=10, seed=0)
+        # 30 atoms * 3 - 30 constraints - 3
+        assert s.n_dof == 90 - 30 - 3

@@ -1,0 +1,119 @@
+"""Unit tests for excluded-pair and 1-4 correction forces."""
+
+import numpy as np
+import pytest
+
+from repro.ewald import (
+    GaussianSplitEwald,
+    GSEParams,
+    correction_forces,
+    direct_ewald,
+    real_space_energy_kernel,
+    real_space_force_kernel,
+    self_energy,
+)
+from repro.forcefield import LJTable, Topology, build_exclusions
+from repro.geometry import Box, NeighborPairs, brute_force_pairs
+from repro.util import COULOMB
+
+
+class TestCorrectionForces:
+    def _molecule_system(self):
+        """A 4-atom chain (so it has 1-2, 1-3 and 1-4 pairs) plus two
+        free ions, in a periodic box."""
+        box = Box.cubic(18.0)
+        pos = np.array(
+            [
+                [5.0, 5.0, 5.0],
+                [6.4, 5.0, 5.0],
+                [7.0, 6.3, 5.0],
+                [8.4, 6.3, 5.6],
+                [12.0, 12.0, 12.0],
+                [3.0, 14.0, 9.0],
+            ]
+        )
+        charges = np.array([0.3, -0.2, 0.25, -0.35, 0.5, -0.5])
+        types = np.zeros(6, dtype=np.int64)
+        lj = LJTable([2.8], [0.12])
+        top = Topology(6)
+        top.add_bond(0, 1, 300.0, 1.4)
+        top.add_bond(1, 2, 300.0, 1.45)
+        top.add_bond(2, 3, 300.0, 1.5)
+        ex = build_exclusions(top)
+        return box, pos, charges, types, lj, ex
+
+    def test_pair_lists_complete(self):
+        box, pos, charges, types, lj, ex = self._molecule_system()
+        out = correction_forces(pos, box, charges, types, lj, ex, sigma=2.0)
+        # 3 bonds -> 3 x 1-2 + 2 x 1-3 exclusions, 1 x 1-4 pair.
+        assert out.n_pairs == 5 + 1
+        assert out.energy_14_lj != 0.0
+
+    def test_corrected_total_matches_target_electrostatics(self):
+        """The full pipeline (real + mesh + self + corrections) must
+        equal direct Ewald over *non-excluded* pairs plus scaled 1-4."""
+        box, pos, charges, types, lj, ex = self._molecule_system()
+        cutoff = 8.0
+        params = GSEParams.choose(box, cutoff, (32, 32, 32), real_space_tolerance=1e-7)
+        sigma = params.sigma
+        gse = GaussianSplitEwald(box, params)
+
+        pairs = brute_force_pairs(pos, box, cutoff)
+        keep = ~ex.is_excluded(pairs.i, pairs.j)
+        qq = charges[pairs.i[keep]] * charges[pairs.j[keep]]
+        e_real = float(np.sum(qq * real_space_energy_kernel(pairs.r2[keep], sigma)))
+        e_k, _ = gse.kspace(pos, charges)
+        corr = correction_forces(pos, box, charges, types, lj, ex, sigma)
+        total_coul = e_real + e_k + self_energy(charges, sigma) + corr.energy_exclusion + corr.energy_14_coul
+
+        # Target: direct Ewald of the same charges, minus the full
+        # Coulomb of excluded pairs, with 1-4 at scale.
+        ref = direct_ewald(pos, charges, box, sigma=1.8, real_images=1, kmax=16).energy
+        for i, j in ex.excluded:
+            r = box.distance(pos[i], pos[j])
+            ref -= COULOMB * charges[i] * charges[j] / r
+        for i, j in ex.pair14:
+            r = box.distance(pos[i], pos[j])
+            ref -= (1.0 - ex.coul_scale14) * COULOMB * charges[i] * charges[j] / r
+        assert total_coul == pytest.approx(ref, abs=5e-3)
+
+    def test_forces_match_numerical_gradient(self):
+        box, pos, charges, types, lj, ex = self._molecule_system()
+        sigma = 2.0
+
+        def energy(p):
+            return correction_forces(p, box, charges, types, lj, ex, sigma).energy
+
+        out = correction_forces(pos, box, charges, types, lj, ex, sigma)
+        dense = np.zeros((6, 3))
+        np.add.at(dense, out.i, out.force)
+        np.add.at(dense, out.j, -out.force)
+        h = 1e-6
+        for a in range(4):
+            for c in range(3):
+                p1, p2 = pos.copy(), pos.copy()
+                p1[a, c] += h
+                p2[a, c] -= h
+                num = -(energy(p1) - energy(p2)) / (2 * h)
+                assert dense[a, c] == pytest.approx(num, abs=1e-4)
+
+    def test_no_exclusions_no_corrections(self):
+        box = Box.cubic(10.0)
+        pos = np.random.default_rng(0).uniform(0, 10, (5, 3))
+        charges = np.ones(5)
+        ex = build_exclusions(Topology(5))
+        out = correction_forces(pos, box, charges, np.zeros(5, np.int64), LJTable([3.0], [0.1]), ex, 2.0)
+        assert out.n_pairs == 0
+        assert out.energy == 0.0
+
+    def test_exclusion_energy_sign(self):
+        # Subtracting the mesh part of a like-charge excluded pair
+        # removes positive energy.
+        box = Box.cubic(12.0)
+        pos = np.array([[5.0, 5.0, 5.0], [6.2, 5.0, 5.0]])
+        charges = np.array([0.4, 0.4])
+        top = Topology(2)
+        top.add_bond(0, 1, 100.0, 1.2)
+        ex = build_exclusions(top)
+        out = correction_forces(pos, box, charges, np.zeros(2, np.int64), LJTable([3.0], [0.1]), ex, 2.0)
+        assert out.energy_exclusion < 0

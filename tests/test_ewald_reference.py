@@ -1,0 +1,116 @@
+"""Unit tests for the direct Ewald reference and analytic kernels."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.ewald import (
+    choose_sigma,
+    direct_ewald,
+    kspace_pair_energy_kernel,
+    kspace_pair_force_kernel,
+    plain_coulomb_energy_kernel,
+    real_space_energy_kernel,
+    real_space_force_kernel,
+    self_energy,
+)
+from repro.geometry import Box
+from repro.util import COULOMB
+
+
+def nacl_unit_cell(a=5.64):
+    """Rock-salt conventional cell: 4 Na+ + 4 Cl-."""
+    base = np.array(
+        [[0, 0, 0], [0.5, 0.5, 0], [0.5, 0, 0.5], [0, 0.5, 0.5]]
+    )
+    na = base * a
+    cl = (base + [0.5, 0, 0]) % 1.0 * a
+    pos = np.concatenate([na, cl])
+    q = np.array([1.0] * 4 + [-1.0] * 4)
+    return pos, q, Box.cubic(a)
+
+
+class TestKernels:
+    def test_real_plus_kspace_equals_plain_coulomb(self):
+        r2 = np.linspace(1.0, 80.0, 200)
+        sigma = 2.0
+        total = real_space_energy_kernel(r2, sigma) + kspace_pair_energy_kernel(r2, sigma)
+        np.testing.assert_allclose(total, plain_coulomb_energy_kernel(r2), rtol=1e-12)
+
+    def test_force_kernels_are_energy_derivatives(self):
+        sigma = 1.7
+        r = np.linspace(1.2, 8.0, 50)
+        h = 1e-6
+        for e_k, f_k in [
+            (real_space_energy_kernel, real_space_force_kernel),
+            (kspace_pair_energy_kernel, kspace_pair_force_kernel),
+        ]:
+            dEdr = (e_k((r + h) ** 2, sigma) - e_k((r - h) ** 2, sigma)) / (2 * h)
+            np.testing.assert_allclose(f_k(r**2, sigma) * r, -dEdr, atol=1e-5)
+
+    def test_self_energy_negative(self):
+        assert self_energy(np.array([1.0, -1.0]), 2.0) < 0
+
+    def test_choose_sigma_hits_tolerance(self):
+        from scipy.special import erfc
+
+        sigma = choose_sigma(13.0, 1e-5)
+        assert erfc(13.0 / (math.sqrt(2) * sigma)) == pytest.approx(1e-5, rel=1e-6)
+
+    def test_larger_cutoff_allows_larger_sigma(self):
+        assert choose_sigma(13.0, 1e-5) > choose_sigma(9.0, 1e-5)
+
+
+class TestDirectEwald:
+    def test_nacl_madelung_constant(self):
+        # E per ion pair = -M * ke / a0 with Madelung constant 1.7476
+        # and nearest-neighbor distance a0 = a/2.
+        pos, q, box = nacl_unit_cell()
+        out = direct_ewald(pos, q, box, sigma=1.2, real_images=1, kmax=12)
+        a0 = 5.64 / 2
+        madelung = -out.energy / 4 * a0 / COULOMB  # 4 ion pairs per cell
+        assert madelung == pytest.approx(1.747565, rel=1e-4)
+
+    def test_forces_vanish_on_lattice(self):
+        pos, q, box = nacl_unit_cell()
+        out = direct_ewald(pos, q, box, sigma=1.2, real_images=1, kmax=12)
+        np.testing.assert_allclose(out.forces, 0.0, atol=1e-6)
+
+    def test_independent_of_sigma(self):
+        # The Ewald total must not depend on the (artificial) split.
+        rng = np.random.default_rng(0)
+        box = Box.cubic(12.0)
+        pos = rng.uniform(0, 12, (16, 3))
+        q = rng.uniform(-1, 1, 16)
+        q -= q.mean()
+        e1 = direct_ewald(pos, q, box, sigma=1.0, real_images=2, kmax=14).energy
+        e2 = direct_ewald(pos, q, box, sigma=1.6, real_images=2, kmax=14).energy
+        assert e1 == pytest.approx(e2, rel=1e-6)
+
+    def test_forces_match_numerical_gradient(self):
+        rng = np.random.default_rng(1)
+        box = Box.cubic(10.0)
+        pos = rng.uniform(0, 10, (8, 3))
+        q = rng.uniform(-1, 1, 8)
+        q -= q.mean()
+        out = direct_ewald(pos, q, box, sigma=1.2, real_images=1, kmax=10)
+        h = 1e-5
+        for a in (0, 3, 7):
+            for c in range(3):
+                p1, p2 = pos.copy(), pos.copy()
+                p1[a, c] += h
+                p2[a, c] -= h
+                num = -(
+                    direct_ewald(p1, q, box, 1.2, 1, 10).energy
+                    - direct_ewald(p2, q, box, 1.2, 1, 10).energy
+                ) / (2 * h)
+                assert out.forces[a, c] == pytest.approx(num, abs=2e-4)
+
+    def test_two_charge_sanity(self):
+        # Two opposite charges far from images: energy close to -ke/r.
+        box = Box.cubic(40.0)
+        pos = np.array([[20.0, 20.0, 20.0], [22.0, 20.0, 20.0]])
+        q = np.array([1.0, -1.0])
+        out = direct_ewald(pos, q, box, sigma=2.0, real_images=1, kmax=16)
+        assert out.energy == pytest.approx(-COULOMB / 2.0, rel=2e-3)

@@ -1,0 +1,59 @@
+"""Unit tests for block-floating-point coefficient encoding."""
+
+import numpy as np
+import pytest
+
+from repro.fixedpoint import BlockFloatCodec
+
+
+class TestBlockFloatCodec:
+    def test_roundtrip_relative_error_of_largest_coefficient(self):
+        codec = BlockFloatCodec(mantissa_bits=22)
+        coeffs = np.array([1.5, -0.3, 0.0021, 4.0e-5])
+        out = codec.roundtrip(coeffs)
+        # Largest coefficient carries nearly full mantissa precision.
+        assert abs(out[0] - coeffs[0]) / abs(coeffs[0]) < 2.0**-20
+
+    def test_shared_exponent_quantizes_small_coeffs_coarsely(self):
+        codec = BlockFloatCodec(mantissa_bits=10)
+        coeffs = np.array([1.0, 1e-9])
+        out = codec.roundtrip(coeffs)
+        # The tiny coefficient falls below the shared step and flushes to 0.
+        assert out[1] == 0.0
+
+    def test_zero_block(self):
+        codec = BlockFloatCodec(mantissa_bits=12)
+        out = codec.roundtrip(np.zeros(4))
+        np.testing.assert_array_equal(out, 0.0)
+
+    def test_power_of_two_exact(self):
+        codec = BlockFloatCodec(mantissa_bits=16)
+        coeffs = np.array([0.5, 0.25, -0.125])
+        np.testing.assert_array_equal(codec.roundtrip(coeffs), coeffs)
+
+    def test_boundary_magnitude_does_not_saturate_badly(self):
+        codec = BlockFloatCodec(mantissa_bits=16)
+        coeffs = np.array([1.0, -1.0])
+        out = codec.roundtrip(coeffs)
+        np.testing.assert_allclose(out, coeffs, rtol=2.0**-14)
+
+    def test_mantissa_width_validation(self):
+        with pytest.raises(ValueError):
+            BlockFloatCodec(mantissa_bits=1)
+
+    def test_more_bits_never_worse(self):
+        rng = np.random.default_rng(3)
+        coeffs = rng.normal(size=6) * 10.0**rng.integers(-3, 3, size=6)
+        errs = []
+        for bits in (8, 12, 16, 20, 24):
+            out = BlockFloatCodec(mantissa_bits=bits).roundtrip(coeffs)
+            errs.append(np.max(np.abs(out - coeffs)))
+        assert all(e2 <= e1 + 1e-30 for e1, e2 in zip(errs, errs[1:]))
+
+    def test_negative_only_block(self):
+        codec = BlockFloatCodec(mantissa_bits=14)
+        coeffs = np.array([-3.0, -0.7])
+        out = codec.roundtrip(coeffs)
+        # Block-float error is absolute, bounded by half the shared step
+        # (here exponent=2, step=2**(2+1-14)).
+        np.testing.assert_allclose(out, coeffs, atol=0.5 * 2.0**-11)

@@ -1,0 +1,103 @@
+"""Unit tests for two's-complement fixed-point formats."""
+
+import numpy as np
+import pytest
+
+from repro.fixedpoint import FixedFormat, round_nearest_even
+
+
+class TestRoundNearestEven:
+    def test_ties_go_to_even(self):
+        assert round_nearest_even(0.5) == 0.0
+        assert round_nearest_even(1.5) == 2.0
+        assert round_nearest_even(2.5) == 2.0
+        assert round_nearest_even(-0.5) == 0.0
+        assert round_nearest_even(-1.5) == -2.0
+
+    def test_odd_symmetry(self):
+        # Symmetry is what makes the integrator exactly reversible.
+        x = np.linspace(-10, 10, 4001)
+        np.testing.assert_array_equal(round_nearest_even(-x), -round_nearest_even(x))
+
+
+class TestFixedFormat:
+    def test_paper_definition_2B_values_in_unit_interval(self):
+        # "a B-bit, signed fixed-point number can represent 2**B evenly
+        # spaced distinct real numbers in [-1, 1)"
+        fmt = FixedFormat(4)
+        codes = np.arange(fmt.min_code, fmt.max_code + 1)
+        vals = fmt.decode(codes)
+        assert len(vals) == 2**4
+        assert vals[0] == -1.0
+        assert vals[-1] == 1.0 - 2.0 ** (1 - 4)
+        np.testing.assert_allclose(np.diff(vals), 2.0 ** (1 - 4))
+
+    def test_bits_bounds(self):
+        with pytest.raises(ValueError):
+            FixedFormat(1)
+        with pytest.raises(ValueError):
+            FixedFormat(63)
+
+    def test_encode_decode_roundtrip_error(self):
+        fmt = FixedFormat(24)
+        x = np.linspace(-0.999, 0.999, 1001)
+        err = np.abs(fmt.decode(fmt.encode(x)) - x)
+        assert np.max(err) <= 0.5 * fmt.resolution
+
+    def test_encode_wraps_out_of_range(self):
+        fmt = FixedFormat(8)
+        # 1.0 wraps to -1.0 in two's complement.
+        assert fmt.decode(fmt.encode(1.0)) == -1.0
+
+    def test_encode_clip_saturates(self):
+        fmt = FixedFormat(8)
+        assert fmt.encode_clip(2.0) == fmt.max_code
+        assert fmt.encode_clip(-2.0) == fmt.min_code
+
+    def test_paper_footnote2_wrap_example(self):
+        # In 4-bit arithmetic 3/8 + 7/8 - 5/8 = 5/8 even though the
+        # intermediate 3/8 + 7/8 wraps to -3/4.
+        fmt = FixedFormat(4)
+        a, b, c = fmt.encode(3 / 8), fmt.encode(7 / 8), fmt.encode(-5 / 8)
+        partial = fmt.add(a, b)
+        assert fmt.decode(partial) == -3 / 4
+        assert fmt.decode(fmt.add(partial, c)) == 5 / 8
+
+    def test_add_order_invariance_with_wrap(self):
+        fmt = FixedFormat(4)
+        vals = [3 / 8, 7 / 8, -5 / 8]
+        codes = [fmt.encode(v) for v in vals]
+        import itertools
+
+        results = set()
+        for perm in itertools.permutations(codes):
+            acc = np.int64(0)
+            for cd in perm:
+                acc = fmt.add(acc, cd)
+            results.add(int(acc))
+        assert len(results) == 1
+
+    def test_wrap_matches_modular_definition(self):
+        fmt = FixedFormat(10)
+        raw = np.arange(-5000, 5000, 7, dtype=np.int64)
+        expected = ((raw + 512) % 1024) - 512
+        np.testing.assert_array_equal(fmt.wrap(raw), expected)
+
+    def test_wrap_safe_near_int64_extremes(self):
+        fmt = FixedFormat(32)
+        big = np.array([np.iinfo(np.int64).max - 3, np.iinfo(np.int64).min + 3], dtype=np.int64)
+        out = fmt.wrap(big)
+        assert np.all(fmt.representable(out))
+
+    def test_representable(self):
+        fmt = FixedFormat(8)
+        assert fmt.representable(fmt.max_code)
+        assert fmt.representable(fmt.min_code)
+        assert not fmt.representable(fmt.max_code + 1)
+        assert not fmt.representable(fmt.min_code - 1)
+
+    def test_resolution_scale_consistency(self):
+        for bits in (8, 16, 24, 40):
+            fmt = FixedFormat(bits)
+            assert fmt.scale * fmt.resolution == 1.0
+            assert fmt.decode(1) == fmt.resolution

@@ -1,0 +1,52 @@
+"""Unit tests for physical-quantity fixed-point codecs."""
+
+import numpy as np
+import pytest
+
+from repro.fixedpoint import FixedFormat, ScaledFixed
+
+
+class TestScaledFixed:
+    def setup_method(self):
+        self.codec = ScaledFixed(FixedFormat(32), limit=100.0)
+
+    def test_roundtrip_error_bounded_by_half_resolution(self):
+        q = np.linspace(-99.9, 99.9, 1234)
+        back = self.codec.reconstruct(self.codec.quantize(q))
+        assert np.max(np.abs(back - q)) <= 0.5 * self.codec.resolution
+
+    def test_resolution(self):
+        assert self.codec.resolution == pytest.approx(100.0 * 2.0**-31)
+
+    def test_invalid_limit_rejected(self):
+        with pytest.raises(ValueError):
+            ScaledFixed(FixedFormat(16), limit=0.0)
+        with pytest.raises(ValueError):
+            ScaledFixed(FixedFormat(16), limit=float("inf"))
+
+    def test_in_range(self):
+        assert self.codec.in_range(99.0)
+        assert self.codec.in_range(-100.0)
+        assert not self.codec.in_range(100.0)
+
+    def test_quantize_round_only_matches_quantize_in_range(self):
+        q = np.linspace(-99.0, 99.0, 101)
+        np.testing.assert_array_equal(
+            self.codec.quantize(q), self.codec.quantize_round_only(q)
+        )
+
+    def test_quantize_round_only_does_not_wrap(self):
+        # Out-of-range values keep their magnitude (accumulator semantics).
+        codes = self.codec.quantize_round_only(150.0)
+        assert codes > self.codec.fmt.max_code
+        wrapped = self.codec.quantize(150.0)
+        assert wrapped != codes
+        np.testing.assert_array_equal(self.codec.wrap(codes), wrapped)
+
+    def test_zero_is_exact(self):
+        assert self.codec.quantize(0.0) == 0
+        assert self.codec.reconstruct(0) == 0.0
+
+    def test_negation_symmetry(self):
+        q = np.linspace(0.0, 99.0, 997)
+        np.testing.assert_array_equal(self.codec.quantize(-q), -self.codec.quantize(q))

@@ -1,0 +1,163 @@
+"""Unit tests for bonded terms, including numerical-gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.forcefield import (
+    Topology,
+    all_bonded_forces,
+    angle_forces,
+    bond_forces,
+    dihedral_forces,
+    scatter_forces,
+)
+from repro.geometry import Box
+
+
+def numerical_forces(positions, box, top, energy_of, h=1e-6):
+    """Central-difference forces for any bonded energy function."""
+    forces = np.zeros_like(positions)
+    for a in range(len(positions)):
+        for c in range(3):
+            for sgn in (+1, -1):
+                p = positions.copy()
+                p[a, c] += sgn * h
+                forces[a, c] -= sgn * energy_of(p, box, top).energy / (2 * h)
+    return forces
+
+
+class TestBondForces:
+    def setup_method(self):
+        self.box = Box.cubic(20.0)
+        self.top = Topology(2)
+        self.top.add_bond(0, 1, 340.0, 1.09)
+
+    def test_energy_at_equilibrium_is_zero(self):
+        pos = np.array([[5.0, 5.0, 5.0], [6.09, 5.0, 5.0]])
+        out = bond_forces(pos, self.box, self.top)
+        assert out.energy == pytest.approx(0.0, abs=1e-12)
+        np.testing.assert_allclose(out.force, 0.0, atol=1e-9)
+
+    def test_energy_value(self):
+        pos = np.array([[5.0, 5.0, 5.0], [6.29, 5.0, 5.0]])
+        out = bond_forces(pos, self.box, self.top)
+        assert out.energy == pytest.approx(340.0 * 0.2**2, rel=1e-9)
+
+    def test_forces_match_numerical_gradient(self):
+        rng = np.random.default_rng(0)
+        pos = np.array([[5.0, 5.0, 5.0], [6.0, 5.4, 4.7]]) + rng.normal(0, 0.05, (2, 3))
+        out = bond_forces(pos, self.box, self.top)
+        dense = scatter_forces(2, [out])
+        num = numerical_forces(pos, self.box, self.top, bond_forces)
+        np.testing.assert_allclose(dense, num, atol=1e-4)
+
+    def test_newton_third_law(self):
+        pos = np.array([[5.0, 5.0, 5.0], [6.4, 5.5, 4.6]])
+        out = bond_forces(pos, self.box, self.top)
+        np.testing.assert_allclose(out.force.sum(axis=1), 0.0, atol=1e-10)
+
+    def test_periodic_bond_across_boundary(self):
+        pos = np.array([[0.2, 5.0, 5.0], [19.5, 5.0, 5.0]])  # 0.7 apart via PBC
+        out = bond_forces(pos, self.box, self.top)
+        assert out.energy == pytest.approx(340.0 * (0.7 - 1.09) ** 2, rel=1e-9)
+
+
+class TestAngleForces:
+    def setup_method(self):
+        self.box = Box.cubic(20.0)
+        self.top = Topology(3)
+        self.top.add_angle(0, 1, 2, 50.0, np.deg2rad(109.5))
+
+    def test_energy_at_equilibrium(self):
+        t = np.deg2rad(109.5)
+        pos = np.array([[1.0, 0.0, 0.0], [0.0, 0.0, 0.0], [np.cos(t), np.sin(t), 0.0]]) + 5.0
+        out = angle_forces(pos, self.box, self.top)
+        assert out.energy == pytest.approx(0.0, abs=1e-12)
+
+    def test_right_angle_energy(self):
+        pos = np.array([[1.0, 0.0, 0.0], [0.0, 0.0, 0.0], [0.0, 1.0, 0.0]]) + 5.0
+        out = angle_forces(pos, self.box, self.top)
+        expected = 50.0 * (np.pi / 2 - np.deg2rad(109.5)) ** 2
+        assert out.energy == pytest.approx(expected, rel=1e-9)
+
+    def test_forces_match_numerical_gradient(self):
+        rng = np.random.default_rng(1)
+        pos = np.array([[1.1, 0.2, -0.1], [0.0, 0.0, 0.0], [-0.4, 1.0, 0.3]]) + 5.0
+        pos += rng.normal(0, 0.02, (3, 3))
+        dense = scatter_forces(3, [angle_forces(pos, self.box, self.top)])
+        num = numerical_forces(pos, self.box, self.top, angle_forces)
+        np.testing.assert_allclose(dense, num, atol=1e-4)
+
+    def test_net_force_and_torque_zero(self):
+        pos = np.array([[1.1, 0.2, -0.1], [0.0, 0.0, 0.0], [-0.4, 1.0, 0.3]]) + 5.0
+        out = angle_forces(pos, self.box, self.top)
+        f = out.force[0]
+        np.testing.assert_allclose(f.sum(axis=0), 0.0, atol=1e-10)
+        torque = np.cross(pos[self.top.angle_idx[0]] - 5.0, f).sum(axis=0)
+        np.testing.assert_allclose(torque, 0.0, atol=1e-9)
+
+
+class TestDihedralForces:
+    def setup_method(self):
+        self.box = Box.cubic(20.0)
+        self.top = Topology(4)
+        self.top.add_dihedral(0, 1, 2, 3, 2.5, 3, 0.0)
+
+    def _positions(self, phi):
+        """Butane-like frame with torsion angle phi."""
+        return np.array(
+            [
+                [np.cos(np.pi - 1.9), np.sin(np.pi - 1.9), -1.0],
+                [0.0, 0.0, -1.0],
+                [0.0, 0.0, 0.0],
+                [np.cos(phi), np.sin(phi), 0.8],
+            ]
+        ) + 8.0
+
+    def test_energy_profile(self):
+        # E = k (1 + cos(3 phi)); maxima at phi = 0, minima at pi/3.
+        e0 = dihedral_forces(self._positions(np.pi - 0.0), self.box, self.top).energy
+        e1 = dihedral_forces(self._positions(np.pi - np.pi / 3), self.box, self.top).energy
+        assert abs(e0 - e1) > 1.0  # phi shifts by pi/3 change energy
+
+    def test_forces_match_numerical_gradient(self):
+        for phi in (0.3, 1.2, 2.5, -2.0):
+            pos = self._positions(phi)
+            dense = scatter_forces(4, [dihedral_forces(pos, self.box, self.top)])
+            num = numerical_forces(pos, self.box, self.top, dihedral_forces)
+            np.testing.assert_allclose(dense, num, atol=5e-4)
+
+    def test_net_force_zero(self):
+        out = dihedral_forces(self._positions(0.7), self.box, self.top)
+        np.testing.assert_allclose(out.force[0].sum(axis=0), 0.0, atol=1e-10)
+
+    def test_periodicity_symmetry(self):
+        # n=3 torsion: phi and phi + 2pi/3 give the same energy.
+        e1 = dihedral_forces(self._positions(0.4), self.box, self.top).energy
+        e2 = dihedral_forces(self._positions(0.4 + 2 * np.pi / 3), self.box, self.top).energy
+        assert e1 == pytest.approx(e2, rel=1e-6)
+
+
+class TestAllBonded:
+    def test_empty_topology(self):
+        box = Box.cubic(10.0)
+        top = Topology(3)
+        outs = all_bonded_forces(np.ones((3, 3)), box, top)
+        assert all(o.energy == 0.0 and o.n_terms == 0 for o in outs)
+        np.testing.assert_array_equal(scatter_forces(3, outs), 0.0)
+
+    def test_combined_molecule(self):
+        box = Box.cubic(20.0)
+        top = Topology(4)
+        top.add_bond(0, 1, 300.0, 1.5)
+        top.add_bond(1, 2, 300.0, 1.5)
+        top.add_bond(2, 3, 300.0, 1.5)
+        top.add_angle(0, 1, 2, 40.0, 1.9)
+        top.add_angle(1, 2, 3, 40.0, 1.9)
+        top.add_dihedral(0, 1, 2, 3, 1.0, 3, 0.0)
+        rng = np.random.default_rng(4)
+        pos = np.cumsum(rng.normal(0, 1, (4, 3)), axis=0) + 10.0
+        outs = all_bonded_forces(pos, box, top)
+        dense = scatter_forces(4, outs)
+        assert dense.shape == (4, 3)
+        np.testing.assert_allclose(dense.sum(axis=0), 0.0, atol=1e-9)

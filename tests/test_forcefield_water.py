@@ -1,0 +1,95 @@
+"""Unit tests for rigid water models."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.forcefield import (
+    TIP3P,
+    TIP4PEW,
+    Topology,
+    add_water_to_topology,
+    water_charges,
+    water_masses,
+    water_site_positions,
+)
+
+
+class TestWaterModels:
+    def test_tip3p_neutral(self):
+        assert sum(water_charges(TIP3P)) == pytest.approx(0.0, abs=1e-12)
+        assert water_charges(TIP3P)[0] == pytest.approx(-0.834)
+
+    def test_tip4pew_neutral_and_m_charged(self):
+        q = water_charges(TIP4PEW)
+        assert sum(q) == pytest.approx(0.0, abs=1e-12)
+        assert q[0] == 0.0  # O carries no charge
+        assert q[3] == pytest.approx(-1.04844)
+
+    def test_masses(self):
+        m3 = water_masses(TIP3P)
+        assert len(m3) == 3 and m3[0] > 15
+        m4 = water_masses(TIP4PEW)
+        assert len(m4) == 4 and m4[3] == 0.0
+
+    def test_geometry_oh_distance(self):
+        for model in (TIP3P, TIP4PEW):
+            sites = water_site_positions(model)
+            assert np.linalg.norm(sites[1] - sites[0]) == pytest.approx(model.r_oh)
+            assert np.linalg.norm(sites[2] - sites[0]) == pytest.approx(model.r_oh)
+
+    def test_geometry_angle(self):
+        sites = water_site_positions(TIP3P)
+        u = sites[1] - sites[0]
+        v = sites[2] - sites[0]
+        cos = np.dot(u, v) / (np.linalg.norm(u) * np.linalg.norm(v))
+        assert math.acos(cos) == pytest.approx(TIP3P.angle_hoh, rel=1e-12)
+
+    def test_hh_distance_property(self):
+        sites = water_site_positions(TIP3P)
+        assert np.linalg.norm(sites[1] - sites[2]) == pytest.approx(TIP3P.r_hh)
+
+    def test_m_site_on_bisector(self):
+        sites = water_site_positions(TIP4PEW)
+        m = sites[3]
+        assert np.linalg.norm(m) == pytest.approx(TIP4PEW.r_om)
+        # Linear vsite formula reproduces the M position exactly at the
+        # rigid geometry.
+        a = TIP4PEW.vsite_weight
+        reconstructed = sites[0] + a * (sites[1] - sites[0]) + a * (sites[2] - sites[0])
+        np.testing.assert_allclose(reconstructed, m, atol=1e-12)
+
+    def test_vsite_weight_zero_for_3site(self):
+        assert TIP3P.vsite_weight == 0.0
+        assert not TIP3P.four_site
+        assert TIP4PEW.four_site
+
+    def test_sites_per_molecule(self):
+        assert TIP3P.sites_per_molecule == 3
+        assert TIP4PEW.sites_per_molecule == 4
+
+
+class TestWaterTopology:
+    def test_tip3p_three_constraints_no_bonds(self):
+        top = Topology(3)
+        add_water_to_topology(top, 0, TIP3P)
+        top.compile()
+        assert top.n_constraints == 3
+        assert top.n_bond_terms == 0  # rigid water needs no bond terms
+
+    def test_tip4pew_vsite_registered(self):
+        top = Topology(4)
+        add_water_to_topology(top, 0, TIP4PEW)
+        top.compile()
+        assert len(top.vsite_idx) == 1
+        assert top.vsite_weight[0] == pytest.approx(TIP4PEW.vsite_weight)
+
+    def test_all_intramolecular_pairs_excluded(self):
+        from repro.forcefield import build_exclusions
+
+        top = Topology(4)
+        add_water_to_topology(top, 0, TIP4PEW)
+        ex = build_exclusions(top)
+        i, j = np.triu_indices(4, k=1)
+        assert np.all(ex.is_excluded(i, j))

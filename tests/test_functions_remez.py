@@ -1,0 +1,74 @@
+"""Unit tests for the Remez exchange minimax fitter."""
+
+import numpy as np
+import pytest
+
+from repro.functions import polyval_ascending, remez_fit
+
+
+class TestPolyvalAscending:
+    def test_matches_manual_cubic(self):
+        coeffs = np.array([1.0, -2.0, 0.5, 3.0])
+        t = np.linspace(-1, 2, 7)
+        expected = 1.0 - 2.0 * t + 0.5 * t**2 + 3.0 * t**3
+        np.testing.assert_allclose(polyval_ascending(coeffs, t), expected)
+
+    def test_scalar_input(self):
+        assert polyval_ascending(np.array([2.0, 1.0]), 3.0) == 5.0
+
+
+class TestRemezFit:
+    def test_exact_for_polynomial_of_same_degree(self):
+        fit = remez_fit(lambda x: 2 + 3 * x - x**2, 0.0, 2.0, degree=2)
+        xs = np.linspace(0, 2, 50)
+        np.testing.assert_allclose(fit(xs), 2 + 3 * xs - xs**2, atol=1e-8)
+        assert fit.max_error < 1e-8
+
+    def test_exp_cubic_accuracy(self):
+        fit = remez_fit(np.exp, 0.0, 1.0, degree=3)
+        # Minimax cubic for e^x on [0,1] has max error ~5.5e-4.
+        assert fit.max_error < 1e-3
+        assert fit.converged
+
+    def test_minimax_beats_taylor(self):
+        fit = remez_fit(np.exp, 0.0, 1.0, degree=3)
+        xs = np.linspace(0, 1, 500)
+        taylor = 1 + xs + xs**2 / 2 + xs**3 / 6
+        assert fit.max_error < np.max(np.abs(taylor - np.exp(xs)))
+
+    def test_equioscillation(self):
+        # The error curve should attain near-equal extrema of alternating
+        # sign at degree+2 points.
+        fit = remez_fit(np.sin, 0.0, 1.5, degree=3)
+        xs = np.linspace(0, 1.5, 3000)
+        err = fit(xs) - np.sin(xs)
+        assert np.max(err) == pytest.approx(-np.min(err), rel=0.05)
+
+    def test_rapidly_varying_kernel(self):
+        # r^-14-like kernel over a narrow tiered segment, as used by the
+        # vdW tables (segment widths in u are ~1e-3 there).
+        fit = remez_fit(lambda u: u**-7.0, 0.040, 0.042, degree=3)
+        us = np.linspace(0.040, 0.042, 200)
+        rel = np.abs(fit(us) - us**-7.0) / us**-7.0
+        assert np.max(rel) < 1e-4
+
+    def test_higher_degree_more_accurate(self):
+        errs = [remez_fit(np.exp, 0.0, 1.0, degree=d).max_error for d in (1, 2, 3, 4)]
+        assert all(e2 < e1 for e1, e2 in zip(errs, errs[1:]))
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            remez_fit(np.exp, 1.0, 1.0)
+
+    def test_nonfinite_function_rejected(self):
+        def diverging(x):
+            with np.errstate(divide="ignore"):
+                return 1.0 / x
+
+        with pytest.raises(ValueError):
+            remez_fit(diverging, 0.0, 1.0)
+
+    def test_normalized_coefficients(self):
+        # coeffs are in t = (x-a)/(b-a); constant term is f-ish at a.
+        fit = remez_fit(np.exp, 2.0, 3.0, degree=3)
+        assert fit.coeffs[0] == pytest.approx(np.exp(2.0), rel=1e-3)

@@ -1,0 +1,126 @@
+"""Unit tests for tiered piecewise-cubic tables and kernel table sets."""
+
+import numpy as np
+import pytest
+
+from repro.functions import (
+    ANTON_ELECTROSTATIC_TIERS,
+    KernelTableSet,
+    Tier,
+    TieredTable,
+    uniform_tiers,
+)
+
+
+class TestTier:
+    def test_paper_configuration_totals_240_entries(self):
+        assert sum(t.segments for t in ANTON_ELECTROSTATIC_TIERS) == 240
+        assert ANTON_ELECTROSTATIC_TIERS[0].segments == 64
+        assert ANTON_ELECTROSTATIC_TIERS[1].end == pytest.approx(1 / 32)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Tier(0.5, 0.5, 4)
+        with pytest.raises(ValueError):
+            Tier(0.0, 0.5, 0)
+        with pytest.raises(ValueError):
+            Tier(0.0, 1.5, 4)
+
+    def test_noncontiguous_tiers_rejected(self):
+        with pytest.raises(ValueError):
+            TieredTable.build(np.exp, tiers=(Tier(0.0, 0.3, 4), Tier(0.4, 1.0, 4)))
+
+
+class TestTieredTable:
+    def test_smooth_function_accuracy(self):
+        table = TieredTable.build(lambda u: np.exp(-3 * u), tiers=uniform_tiers(16))
+        assert table.max_abs_error(lambda u: np.exp(-3 * u)) < 1e-6
+
+    def test_segment_index(self):
+        table = TieredTable.build(np.cos, tiers=uniform_tiers(8))
+        idx = table.segment_index(np.array([0.0, 0.124, 0.126, 0.99]))
+        np.testing.assert_array_equal(idx, [0, 0, 1, 7])
+
+    def test_out_of_domain_clamps(self):
+        table = TieredTable.build(np.cos, tiers=uniform_tiers(8))
+        assert table.segment_index(-0.5) == 0
+        assert table.segment_index(1.5) == 7
+
+    def test_tiered_beats_uniform_for_singular_kernel(self):
+        # A 1/u-like kernel: tiers concentrated near 0 should beat a
+        # uniform table of the same total entry count.
+        def f(u):
+            return 1.0 / (u + 0.004)
+
+        tiered = TieredTable.build(
+            f,
+            tiers=(Tier(0.0, 1 / 128, 64), Tier(1 / 128, 1 / 32, 96), Tier(1 / 32, 0.25, 56), Tier(0.25, 1.0, 24)),
+        )
+        uniform = TieredTable.build(f, tiers=uniform_tiers(240))
+        assert tiered.max_abs_error(f) < 0.1 * uniform.max_abs_error(f)
+
+    def test_continuity_adjustment(self):
+        f = lambda u: np.exp(2 * u)  # noqa: E731
+        table = TieredTable.build(f, tiers=uniform_tiers(10), mantissa_bits=40)
+        # With wide mantissas, residual jumps come only from the
+        # block-float rounding of the adjusted coefficients.
+        assert np.max(table.continuity_jumps()) < 1e-8
+
+    def test_continuity_off_shows_jumps_field(self):
+        f = lambda u: 1.0 / (u + 0.01)  # noqa: E731
+        on = TieredTable.build(f, tiers=uniform_tiers(6), enforce_continuity=True, mantissa_bits=40)
+        off = TieredTable.build(f, tiers=uniform_tiers(6), enforce_continuity=False, mantissa_bits=40)
+        assert np.max(on.continuity_jumps()) <= np.max(off.continuity_jumps())
+
+    def test_quantization_error_shrinks_with_mantissa_bits(self):
+        f = np.exp
+        errs = []
+        for bits in (8, 14, 20, 26):
+            t = TieredTable.build(f, tiers=uniform_tiers(8), mantissa_bits=bits)
+            us = np.linspace(0, 0.999, 500)
+            errs.append(np.max(np.abs(t.evaluate(us) - t.evaluate_raw(us))))
+        assert errs[-1] < errs[0] / 1000
+
+    def test_hardware_eval_close_to_float_eval(self):
+        table = TieredTable.build(np.exp, tiers=uniform_tiers(16))
+        us = np.linspace(0, 0.999, 300)
+        hw = table.evaluate_hardware(us, t_bits=22, stage_bits=26)
+        assert np.max(np.abs(hw - table.evaluate(us))) < 1e-5
+
+    def test_hardware_eval_degrades_with_narrow_datapath(self):
+        table = TieredTable.build(np.exp, tiers=uniform_tiers(16))
+        us = np.linspace(0, 0.999, 300)
+        err_narrow = np.max(np.abs(table.evaluate_hardware(us, t_bits=8, stage_bits=10) - np.exp(us)))
+        err_wide = np.max(np.abs(table.evaluate_hardware(us, t_bits=22, stage_bits=26) - np.exp(us)))
+        assert err_wide < err_narrow / 10
+
+    def test_domain_property(self):
+        table = TieredTable.build(np.cos, tiers=uniform_tiers(4, 0.25, 0.75))
+        assert table.domain == (0.25, 0.75)
+        assert table.n_segments == 4
+
+
+class TestKernelTableSet:
+    def test_tabulated_coulomb_kernel(self):
+        ts = KernelTableSet(cutoff=9.0)
+        ts.add("einv", lambda r2: 1.0 / np.sqrt(r2))
+        r = np.linspace(1.0, 8.9, 200)
+        rel = np.abs(ts.evaluate("einv", r**2) - 1.0 / r) * r
+        assert np.max(rel) < 1e-4
+
+    def test_r_floor_validation(self):
+        with pytest.raises(ValueError):
+            KernelTableSet(cutoff=0.5)
+
+    def test_names_and_contains(self):
+        ts = KernelTableSet(cutoff=9.0)
+        ts.add("a", lambda r2: r2)
+        assert "a" in ts
+        assert "b" not in ts
+        assert ts.names() == ["a"]
+
+    def test_r_at_cutoff_does_not_error(self):
+        ts = KernelTableSet(cutoff=9.0)
+        ts.add("a", lambda r2: r2)
+        val = ts.evaluate("a", 81.0)
+        assert np.isfinite(val)

@@ -1,0 +1,61 @@
+"""Unit tests for periodic-box arithmetic."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Box
+
+
+class TestBox:
+    def test_cubic_constructor(self):
+        box = Box.cubic(50.0)
+        np.testing.assert_array_equal(box.lengths, [50.0, 50.0, 50.0])
+        assert box.is_cubic
+        assert box.volume == pytest.approx(125000.0)
+
+    def test_invalid_lengths(self):
+        with pytest.raises(ValueError):
+            Box(np.array([1.0, -1.0, 1.0]))
+        with pytest.raises(ValueError):
+            Box(np.array([1.0, np.inf, 1.0]))
+
+    def test_wrap(self):
+        box = Box.cubic(10.0)
+        pos = np.array([[11.0, -0.5, 5.0]])
+        np.testing.assert_allclose(box.wrap(pos), [[1.0, 9.5, 5.0]])
+
+    def test_wrap_idempotent(self):
+        box = Box(np.array([7.0, 11.0, 13.0]))
+        rng = np.random.default_rng(0)
+        pos = rng.uniform(-30, 30, size=(100, 3))
+        once = box.wrap(pos)
+        np.testing.assert_allclose(box.wrap(once), once)
+
+    def test_minimum_image_halves(self):
+        box = Box.cubic(10.0)
+        d = np.array([[6.0, -6.0, 4.9]])
+        np.testing.assert_allclose(box.minimum_image(d), [[-4.0, 4.0, 4.9]])
+
+    def test_minimum_image_bound(self):
+        box = Box(np.array([8.0, 10.0, 12.0]))
+        rng = np.random.default_rng(1)
+        d = rng.uniform(-100, 100, size=(500, 3))
+        m = box.minimum_image(d)
+        assert np.all(np.abs(m) <= box.lengths / 2 + 1e-12)
+
+    def test_distance_consistency(self):
+        box = Box.cubic(10.0)
+        xi = np.array([0.5, 0.5, 0.5])
+        xj = np.array([9.5, 0.5, 0.5])
+        assert box.distance(xi, xj) == pytest.approx(1.0)
+        assert box.distance2(xi, xj) == pytest.approx(1.0)
+
+    def test_fractional_roundtrip(self):
+        box = Box(np.array([5.0, 6.0, 7.0]))
+        rng = np.random.default_rng(2)
+        pos = rng.uniform(0, 5, size=(50, 3))
+        np.testing.assert_allclose(box.from_fractional(box.fractional(pos)), box.wrap(pos))
+
+    def test_max_cutoff(self):
+        box = Box(np.array([8.0, 10.0, 12.0]))
+        assert box.max_cutoff() == 4.0

@@ -1,0 +1,82 @@
+"""Unit tests for import-region geometry (Figure 3)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry import (
+    dilated_box_volume,
+    half_shell_import_volume,
+    nt_import_volume,
+    nt_spreading_import_volume,
+    voxel_region_volume,
+)
+
+
+class TestDilatedBoxVolume:
+    def test_zero_radius(self):
+        assert dilated_box_volume((2.0, 3.0, 4.0), 0.0) == pytest.approx(24.0)
+
+    def test_point_box_is_sphere(self):
+        v = dilated_box_volume((0.0, 0.0, 0.0), 2.0)
+        assert v == pytest.approx(4 / 3 * math.pi * 8.0)
+
+    def test_matches_voxel_estimate(self):
+        dims, R = (8.0, 8.0, 8.0), 5.0
+        analytic = dilated_box_volume(dims, R)
+        # voxel union of half_shell*2 + box is awkward; integrate directly
+        lo, hi, res = -R, 8.0 + R, 0.2
+        n = int((hi - lo) / res)
+        xs = lo + (np.arange(n) + 0.5) * res
+        X, Y, Z = np.meshgrid(xs, xs, xs, indexing="ij")
+        dx = np.maximum(np.maximum(-X, X - 8.0), 0.0)
+        dy = np.maximum(np.maximum(-Y, Y - 8.0), 0.0)
+        dz = np.maximum(np.maximum(-Z, Z - 8.0), 0.0)
+        vox = np.count_nonzero(dx**2 + dy**2 + dz**2 < R * R) * res**3
+        assert analytic == pytest.approx(vox, rel=0.02)
+
+
+class TestImportVolumes:
+    @pytest.mark.parametrize("dims,R", [((8.0, 8.0, 8.0), 13.0), ((16.0, 16.0, 16.0), 13.0), ((10.0, 12.0, 9.0), 7.0)])
+    def test_half_shell_matches_voxel(self, dims, R):
+        analytic = half_shell_import_volume(dims, R)
+        vox = voxel_region_volume(dims, R, method="half_shell", resolution=0.3)
+        assert analytic == pytest.approx(vox, rel=0.03)
+
+    @pytest.mark.parametrize("dims,R", [((8.0, 8.0, 8.0), 13.0), ((16.0, 16.0, 16.0), 13.0), ((10.0, 12.0, 9.0), 7.0)])
+    def test_nt_matches_voxel(self, dims, R):
+        analytic = nt_import_volume(dims, R)
+        vox = voxel_region_volume(dims, R, method="nt", resolution=0.3)
+        assert analytic == pytest.approx(vox, rel=0.03)
+
+    @pytest.mark.parametrize("dims,R", [((8.0, 8.0, 8.0), 13.0), ((12.0, 12.0, 12.0), 9.0)])
+    def test_nt_spreading_matches_voxel(self, dims, R):
+        analytic = nt_spreading_import_volume(dims, R)
+        vox = voxel_region_volume(dims, R, method="nt_spreading", resolution=0.3)
+        assert analytic == pytest.approx(vox, rel=0.03)
+
+    def test_nt_beats_half_shell_at_high_parallelism(self):
+        # The paper: the NT advantage grows as boxes shrink relative to
+        # the cutoff (higher parallelism).
+        R = 13.0
+        small = (8.0, 8.0, 8.0)
+        ratio_small = nt_import_volume(small, R) / half_shell_import_volume(small, R)
+        big = (32.0, 32.0, 32.0)
+        ratio_big = nt_import_volume(big, R) / half_shell_import_volume(big, R)
+        assert ratio_small < ratio_big
+        assert ratio_small < 0.5  # strong advantage in the Anton regime
+
+    def test_spreading_plate_larger_than_nt_plate(self):
+        dims, R = (16.0, 16.0, 16.0), 13.0
+        assert nt_spreading_import_volume(dims, R) > nt_import_volume(dims, R)
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            voxel_region_volume((8.0, 8.0, 8.0), 5.0, method="bogus")
+
+    def test_volumes_scale_with_cutoff(self):
+        dims = (16.0, 16.0, 16.0)
+        v1 = nt_import_volume(dims, 9.0)
+        v2 = nt_import_volume(dims, 13.0)
+        assert v2 > v1

@@ -1,0 +1,112 @@
+"""Unit tests for the torus topology and simulated network."""
+
+import pytest
+
+from repro.parallel.comm import SimNetwork
+from repro.parallel.topology import TorusTopology
+
+
+class TestTorusTopology:
+    def test_512_node_machine(self):
+        topo = TorusTopology.cubic(8)
+        assert topo.n_nodes == 512
+
+    def test_power_of_two_required(self):
+        with pytest.raises(ValueError):
+            TorusTopology((3, 3, 3))
+        with pytest.raises(ValueError):
+            TorusTopology.for_node_count(100)
+
+    def test_for_node_count_shapes(self):
+        assert TorusTopology.for_node_count(512).dims == (8, 8, 8)
+        assert TorusTopology.for_node_count(128).dims == (8, 4, 4)
+        assert TorusTopology.for_node_count(1).dims == (1, 1, 1)
+        assert TorusTopology.for_node_count(2).dims == (2, 1, 1)
+
+    def test_node_id_coord_roundtrip(self):
+        topo = TorusTopology((4, 2, 8))
+        for node in range(topo.n_nodes):
+            assert topo.node_id(topo.coord(node)) == node
+
+    def test_node_id_wraps(self):
+        topo = TorusTopology.cubic(4)
+        assert topo.node_id((4, 0, 0)) == topo.node_id((0, 0, 0))
+        assert topo.node_id((-1, 0, 0)) == topo.node_id((3, 0, 0))
+
+    def test_neighbors_six_on_big_torus(self):
+        topo = TorusTopology.cubic(4)
+        assert len(topo.neighbors(0)) == 6
+
+    def test_neighbors_dedup_on_small_torus(self):
+        topo = TorusTopology.cubic(2)
+        # +1 and -1 alias on a length-2 ring: only 3 distinct neighbors.
+        assert len(topo.neighbors(0)) == 3
+
+    def test_hop_distance_wraparound(self):
+        topo = TorusTopology.cubic(8)
+        a = topo.node_id((0, 0, 0))
+        b = topo.node_id((7, 0, 0))
+        assert topo.hop_distance(a, b) == 1
+        c = topo.node_id((4, 4, 4))
+        assert topo.hop_distance(a, c) == 12
+
+    def test_axis_line(self):
+        topo = TorusTopology.cubic(4)
+        line = topo.axis_line(topo.node_id((1, 2, 3)), axis=0)
+        assert len(line) == 4
+        coords = [topo.coord(n) for n in line]
+        assert all(c[1] == 2 and c[2] == 3 for c in coords)
+
+    def test_coord_out_of_range(self):
+        topo = TorusTopology.cubic(2)
+        with pytest.raises(IndexError):
+            topo.coord(8)
+
+
+class TestSimNetwork:
+    def test_stats_accumulate(self):
+        topo = TorusTopology.cubic(4)
+        net = SimNetwork(topo)
+        net.send(0, 1, 100, tag="a")
+        net.send(0, 2, 50, tag="a")
+        net.send(1, 0, 10, tag="b")
+        assert net.stats.messages == 3
+        assert net.stats.bytes == 160
+        assert net.stats.by_tag["a"] == (2, 150)
+        assert net.stats.per_node_messages[0] == 2
+
+    def test_local_send_free(self):
+        topo = TorusTopology.cubic(2)
+        net = SimNetwork(topo)
+        net.send(3, 3, 1000, tag="local", payload="x")
+        assert net.stats.messages == 0
+        assert net.receive(3, "local") == ["x"]
+
+    def test_hop_weighted_bytes(self):
+        topo = TorusTopology.cubic(8)
+        net = SimNetwork(topo)
+        far = topo.node_id((4, 4, 4))
+        net.send(0, far, 10, tag="t")
+        assert net.stats.hop_bytes == 120
+
+    def test_payload_delivery_order(self):
+        topo = TorusTopology.cubic(2)
+        net = SimNetwork(topo)
+        net.send(0, 1, 4, tag="t", payload="first")
+        net.send(2, 1, 4, tag="t", payload="second")
+        assert net.receive(1, "t") == ["first", "second"]
+        assert net.receive(1, "t") == []
+
+    def test_multicast(self):
+        topo = TorusTopology.cubic(2)
+        net = SimNetwork(topo)
+        net.multicast(0, [1, 2, 3], 8, tag="mc", payload="data")
+        assert net.stats.messages == 3
+        assert net.receive(2, "mc") == ["data"]
+
+    def test_reset(self):
+        topo = TorusTopology.cubic(2)
+        net = SimNetwork(topo)
+        net.send(0, 1, 4, tag="t")
+        net.reset_stats()
+        assert net.stats.messages == 0
