@@ -9,7 +9,6 @@ production kernels (screened-Coulomb force, r^-14 dispersion).
 """
 
 import numpy as np
-import pytest
 
 from repro.ewald import real_space_force_kernel
 from repro.functions import (

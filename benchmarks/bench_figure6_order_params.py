@@ -11,7 +11,6 @@ chaotic trajectories.
 """
 
 import numpy as np
-import pytest
 
 from repro.analysis import kabsch_align, nh_vectors, order_parameters
 from repro.core import BerendsenThermostat, MDParams, Simulation, minimize_energy

@@ -12,7 +12,6 @@ both as fractions of the rms force, plus a short NVE energy trace.
 Run:  python examples/accuracy_report.py
 """
 
-import numpy as np
 
 from repro import FixedPointConfig, ForceCalculator, MDParams, Simulation, minimize_energy
 from repro import benchmark_by_name

@@ -26,8 +26,12 @@ def _add_simulate(sub) -> None:
     p.add_argument("--mode", choices=("fixed", "float"), default="fixed")
     p.add_argument("--temperature", type=float, default=300.0)
     p.add_argument("--cutoff", type=float, default=None)
+    p.add_argument("--skin", type=float, default=None,
+                   help="Verlet-list buffer radius, A (default: MDParams.skin)")
     p.add_argument("--record-every", type=int, default=20)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--timings", action="store_true",
+                   help="print per-component wall-time counters after the run")
 
 
 def _add_machine(sub) -> None:
@@ -47,6 +51,8 @@ def _add_perf(sub) -> None:
 
 
 def cmd_simulate(args) -> int:
+    from dataclasses import replace
+
     from repro import BerendsenThermostat, MDParams, Simulation, minimize_energy
     from repro.systems import benchmark_by_name, build_hp_system, build_water_box, hp_miniprotein
 
@@ -62,8 +68,11 @@ def cmd_simulate(args) -> int:
         system = spec.build(scale=args.scale, seed=args.seed)
         cutoff = args.cutoff or min(spec.cutoff, system.box.max_cutoff() * 0.9)
         params = MDParams(cutoff=cutoff, mesh=(32, 32, 32), long_range_every=2)
+    if args.skin is not None:
+        params = replace(params, skin=args.skin)
     print(f"system: {system.meta.get('name', args.system)} — {system.n_atoms} atoms, "
-          f"box {system.box.lengths[0]:.1f} A, cutoff {params.cutoff:.1f} A")
+          f"box {system.box.lengths[0]:.1f} A, cutoff {params.cutoff:.1f} A, "
+          f"skin {params.skin:.1f} A")
     e = minimize_energy(system, params, max_steps=80)
     print(f"minimized potential energy: {e:.1f} kcal/mol")
     system.initialize_velocities(args.temperature, seed=args.seed + 1)
@@ -78,6 +87,13 @@ def cmd_simulate(args) -> int:
     print(f"{'step':>8} {'E_total':>14} {'T (K)':>8}")
     for rec in sim.run(args.steps, record_every=args.record_every):
         print(f"{rec.step:>8} {rec.total:>14.4f} {rec.temperature:>8.0f}")
+    nl = sim.calc.neighbor_list
+    print(f"neighbor list: {nl.n_builds} builds / {nl.n_reuses} reuses "
+          f"(skin {nl.effective_skin:.1f} A, {nl.n_candidates} cached pairs)")
+    if args.timings:
+        print("component wall time:")
+        for line in sim.timers.summary_lines():
+            print(f"  {line}")
     return 0
 
 

@@ -21,7 +21,13 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.system import ChemicalSystem
-from repro.ewald import GaussianSplitEwald, GSEParams, correction_forces, self_energy
+from repro.ewald import (
+    GaussianSplitEwald,
+    GSEParams,
+    correction_forces_static,
+    precompute_correction_static,
+    self_energy,
+)
 from repro.fixedpoint import FixedAccumulator, round_nearest_even
 from repro.forcefield import (
     all_bonded_forces,
@@ -30,7 +36,7 @@ from repro.forcefield import (
     nonbonded_real_space_tabulated,
     scatter_forces,
 )
-from repro.geometry import neighbor_pairs
+from repro.geometry import NeighborList
 
 __all__ = ["MDParams", "ForceReport", "ForceCalculator", "MTSForceProvider"]
 
@@ -45,6 +51,11 @@ class MDParams:
     """
 
     cutoff: float = 9.0
+    #: Verlet-list buffer radius (A).  Pairs are cached out to
+    #: ``cutoff + skin`` and the list is rebuilt only when an atom has
+    #: moved more than ``skin/2`` since the last build; 0 rebuilds
+    #: every evaluation.  Results are bitwise independent of the skin.
+    skin: float = 2.0
     mesh: tuple[int, int, int] = (32, 32, 32)
     ewald_tolerance: float = 1e-5
     lj_mode: str = "shift_force"
@@ -62,11 +73,16 @@ class MDParams:
 
 @dataclass
 class ForceReport:
-    """Forces plus the per-component energy breakdown of one evaluation."""
+    """Forces plus the per-component energy breakdown of one evaluation.
+
+    ``timings`` holds the wall time (seconds) each component of *this*
+    evaluation charged to the calculator's :class:`~repro.perf.Timers`.
+    """
 
     forces: np.ndarray
     energies: dict = field(default_factory=dict)
     n_pairs: int = 0
+    timings: dict = field(default_factory=dict)
 
     @property
     def potential_energy(self) -> float:
@@ -77,8 +93,19 @@ class ForceCalculator:
     """Evaluates all force-field components for one system."""
 
     def __init__(self, system: ChemicalSystem, params: MDParams = MDParams()):
+        # Deferred import: repro.perf pulls in workload -> repro.core.
+        from repro.perf.timers import Timers
+
         self.system = system
         self.params = params
+        self.timers = Timers()
+        self.neighbor_list = NeighborList(
+            system.box,
+            params.cutoff,
+            skin=params.skin,
+            exclusions=system.exclusions,
+            timers=self.timers,
+        )
         self.electrostatics = bool(params.electrostatics) and bool(np.any(system.charges != 0))
         if self.electrostatics:
             gse_params = GSEParams.choose(
@@ -109,37 +136,52 @@ class ForceCalculator:
             self.mesh_codec = ScaledFixed(FixedFormat(params.quantize_mesh_bits), limit=8.0)
         # Self energy is configuration-independent: compute once.
         self._e_self = self_energy(system.charges, self.sigma)
+        # Correction-pair indices/charge products/LJ coefficients are
+        # topology-derived and never change: gather them once.
+        self._corr_static = precompute_correction_static(
+            system.charges, system.type_ids, system.lj, system.exclusions
+        )
 
     # -- contribution gathering -------------------------------------------
 
     def _range_limited(self, positions: np.ndarray):
         s = self.system
-        pairs = neighbor_pairs(positions, s.box, self.params.cutoff)
-        if self.tables is not None:
-            nb = nonbonded_real_space_tabulated(
-                pairs, s.charges, s.type_ids, s.lj, s.exclusions, self.tables
-            )
-        else:
-            nb = nonbonded_real_space(
-                pairs,
-                s.charges,
-                s.type_ids,
-                s.lj,
-                s.exclusions,
-                self.sigma,
-                lj_mode=self.params.lj_mode,
-                cutoff=self.params.cutoff,
-            )
+        with self.timers.time("pair_list"):
+            pairs = self.neighbor_list.pairs(positions)
+        with self.timers.time("range_limited"):
+            if self.tables is not None:
+                nb = nonbonded_real_space_tabulated(
+                    pairs,
+                    s.charges,
+                    s.type_ids,
+                    s.lj,
+                    s.exclusions,
+                    self.tables,
+                    assume_filtered=True,
+                )
+            else:
+                nb = nonbonded_real_space(
+                    pairs,
+                    s.charges,
+                    s.type_ids,
+                    s.lj,
+                    s.exclusions,
+                    self.sigma,
+                    lj_mode=self.params.lj_mode,
+                    cutoff=self.params.cutoff,
+                    assume_filtered=True,
+                )
         return nb
 
     def _bonded(self, positions: np.ndarray):
-        return all_bonded_forces(positions, self.system.box, self.system.topology)
+        with self.timers.time("bonded"):
+            return all_bonded_forces(positions, self.system.box, self.system.topology)
 
     def _corrections(self, positions: np.ndarray):
-        s = self.system
-        return correction_forces(
-            positions, s.box, s.charges, s.type_ids, s.lj, s.exclusions, self.sigma
-        )
+        with self.timers.time("correction"):
+            return correction_forces_static(
+                positions, self.system.box, self._corr_static, self.sigma
+            )
 
     # -- float path -----------------------------------------------------------
 
@@ -150,13 +192,15 @@ class ForceCalculator:
         combine parts apply it once on the combined force.
         """
         s = self.system
+        before = self.timers.snapshot()
         forces = np.zeros((s.n_atoms, 3))
         corr = self._corrections(positions)
         np.add.at(forces, corr.i, corr.force)
         np.add.at(forces, corr.j, -corr.force)
         e_k = 0.0
         if self.gse is not None:
-            e_k, f_k = self.gse.kspace(positions, s.charges, codec=self.mesh_codec)
+            with self.timers.time("kspace"):
+                e_k, f_k = self.gse.kspace(positions, s.charges, codec=self.mesh_codec)
             forces += f_k
         energies = {
             "correction": corr.energy_exclusion + corr.energy_14_coul,
@@ -164,12 +208,15 @@ class ForceCalculator:
             "coulomb_kspace": e_k,
             "coulomb_self": self._e_self,
         }
-        return ForceReport(forces=forces, energies=energies)
+        return ForceReport(
+            forces=forces, energies=energies, timings=self.timers.delta_since(before)
+        )
 
     def compute(self, positions: np.ndarray, include_long_range: bool = True) -> ForceReport:
         """Dense float64 forces and the energy breakdown."""
         s = self.system
         n = s.n_atoms
+        before = self.timers.snapshot()
         forces = np.zeros((n, 3))
         energies: dict[str, float] = {}
 
@@ -191,7 +238,12 @@ class ForceCalculator:
             energies.update(long_part.energies)
 
         s.spread_virtual_site_forces(forces)
-        return ForceReport(forces=forces, energies=energies, n_pairs=nb.n_pairs)
+        return ForceReport(
+            forces=forces,
+            energies=energies,
+            n_pairs=nb.n_pairs,
+            timings=self.timers.delta_since(before),
+        )
 
     # -- fixed-point path ---------------------------------------------------------
 
@@ -211,7 +263,8 @@ class ForceCalculator:
         acc.deposit(corr.j, -ccodes)
         e_k = 0.0
         if self.gse is not None:
-            e_k, f_k = self.gse.kspace(positions, s.charges, codec=self.mesh_codec)
+            with self.timers.time("kspace"):
+                e_k, f_k = self.gse.kspace(positions, s.charges, codec=self.mesh_codec)
             acc.deposit_dense(force_codec.quantize_round_only(f_k))
         energies = {
             "correction": corr.energy_exclusion + corr.energy_14_coul,
@@ -234,6 +287,7 @@ class ForceCalculator:
         """
         s = self.system
         n = s.n_atoms
+        before = self.timers.snapshot()
         acc = FixedAccumulator((n, 3), force_codec.fmt)
         energies: dict[str, float] = {}
 
@@ -261,7 +315,10 @@ class ForceCalculator:
         total = acc.total()
         total = self._spread_vsite_codes(total)
         report = ForceReport(
-            forces=force_codec.reconstruct(total), energies=energies, n_pairs=nb.n_pairs
+            forces=force_codec.reconstruct(total),
+            energies=energies,
+            n_pairs=nb.n_pairs,
+            timings=self.timers.delta_since(before),
         )
         return total, report
 

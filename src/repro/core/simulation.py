@@ -143,6 +143,11 @@ class Simulation:
         return self.integrator.positions
 
     @property
+    def timers(self):
+        """Per-component wall-time counters of the force calculator."""
+        return self.calc.timers
+
+    @property
     def velocities(self) -> np.ndarray:
         return self.integrator.velocities
 
@@ -190,6 +195,11 @@ class Simulation:
         The force cache is rebuilt by replaying the evaluation the
         original run performed at this state (same MTS phase), so the
         next step is identical to what the original would have taken.
+        The buffered neighbor list needs no state in the checkpoint:
+        its displacement trigger rebuilds it automatically if the
+        restored positions have drifted past ``skin/2`` from the list's
+        reference configuration, and the pair set it yields is a pure
+        function of the current positions either way.
         """
         if chk["mode"] != self.mode or chk["dt"] != self.dt:
             raise ValueError("checkpoint is for a different mode or time step")

@@ -1,7 +1,13 @@
 """Ewald electrostatics: analytic kernels, Gaussian Split Ewald (GSE),
 SPME baseline, excluded-pair corrections, and a direct-sum reference."""
 
-from repro.ewald.correction import CorrectionResult, correction_forces
+from repro.ewald.correction import (
+    CorrectionResult,
+    CorrectionStatic,
+    correction_forces,
+    correction_forces_static,
+    precompute_correction_static,
+)
 from repro.ewald.gse import GaussianSplitEwald, GSEParams
 from repro.ewald.reference import EwaldResult, direct_coulomb_images, direct_ewald
 from repro.ewald.spme import SmoothPME, SPMEParams, bspline
@@ -18,7 +24,10 @@ from repro.ewald.kernels import (
 
 __all__ = [
     "CorrectionResult",
+    "CorrectionStatic",
     "correction_forces",
+    "correction_forces_static",
+    "precompute_correction_static",
     "GaussianSplitEwald",
     "GSEParams",
     "EwaldResult",

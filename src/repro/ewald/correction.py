@@ -32,7 +32,13 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
     from repro.forcefield.exclusions import ExclusionTable
     from repro.forcefield.parameters import LJTable
 
-__all__ = ["CorrectionResult", "correction_forces"]
+__all__ = [
+    "CorrectionResult",
+    "CorrectionStatic",
+    "precompute_correction_static",
+    "correction_forces_static",
+    "correction_forces",
+]
 
 
 @dataclass(frozen=True)
@@ -60,28 +66,81 @@ class CorrectionResult:
         return len(self.i)
 
 
-def correction_forces(
-    positions: np.ndarray,
-    box: Box,
+@dataclass(frozen=True)
+class CorrectionStatic:
+    """Topology-derived correction-pair data, constant per system.
+
+    The index arrays, charge products, and LJ coefficients of the
+    excluded and 1-4 lists never change between evaluations; hoisting
+    them out of the per-step path (and into
+    :class:`~repro.core.forces.ForceCalculator` construction) leaves
+    only the distance-dependent kernels on the hot path.
+    """
+
+    excl_i: np.ndarray
+    excl_j: np.ndarray
+    excl_qq: np.ndarray
+    p14_i: np.ndarray
+    p14_j: np.ndarray
+    p14_qq: np.ndarray
+    p14_a: np.ndarray
+    p14_b: np.ndarray
+    coul_scale14: float
+    lj_scale14: float
+
+
+def precompute_correction_static(
     charges: np.ndarray,
     type_ids: np.ndarray,
     lj_table: "LJTable",
     exclusions: "ExclusionTable",
+) -> CorrectionStatic:
+    """Gather the configuration-independent correction-pair data once."""
+    empty_idx = np.empty(0, dtype=np.int64)
+    empty_f = np.empty(0)
+    excl_i, excl_j, excl_qq = empty_idx, empty_idx, empty_f
+    if exclusions.n_excluded:
+        excl_i = exclusions.excluded[:, 0]
+        excl_j = exclusions.excluded[:, 1]
+        excl_qq = charges[excl_i] * charges[excl_j]
+    p14_i, p14_j, p14_qq = empty_idx, empty_idx, empty_f
+    p14_a, p14_b = empty_f, empty_f
+    if exclusions.n_pair14:
+        p14_i = exclusions.pair14[:, 0]
+        p14_j = exclusions.pair14[:, 1]
+        p14_qq = charges[p14_i] * charges[p14_j]
+        p14_a, p14_b = lj_table.pair_coefficients(type_ids[p14_i], type_ids[p14_j])
+    return CorrectionStatic(
+        excl_i=excl_i,
+        excl_j=excl_j,
+        excl_qq=excl_qq,
+        p14_i=p14_i,
+        p14_j=p14_j,
+        p14_qq=p14_qq,
+        p14_a=p14_a,
+        p14_b=p14_b,
+        coul_scale14=exclusions.coul_scale14,
+        lj_scale14=exclusions.lj_scale14,
+    )
+
+
+def correction_forces_static(
+    positions: np.ndarray,
+    box: Box,
+    static: CorrectionStatic,
     sigma: float,
 ) -> CorrectionResult:
-    """Evaluate all correction terms for one configuration."""
+    """Evaluate all correction terms against precomputed static data."""
     from repro.forcefield.nonbonded import lj_energy_prefactor
 
     parts_i, parts_j, parts_f = [], [], []
 
     # -- hard exclusions: remove the mesh's erf part ---------------------
     e_excl = 0.0
-    if exclusions.n_excluded:
-        i = exclusions.excluded[:, 0]
-        j = exclusions.excluded[:, 1]
+    if len(static.excl_i):
+        i, j, qq = static.excl_i, static.excl_j, static.excl_qq
         dx = box.minimum_image(positions[i] - positions[j])
         r2 = np.sum(dx * dx, axis=1)
-        qq = charges[i] * charges[j]
         e_excl = -float(np.sum(qq * kspace_pair_energy_kernel(r2, sigma)))
         pref = -qq * kspace_pair_force_kernel(r2, sigma)
         parts_i.append(i)
@@ -91,20 +150,17 @@ def correction_forces(
     # -- 1-4 pairs: scaled explicit interaction minus mesh part -----------
     e14c = 0.0
     e14lj = 0.0
-    if exclusions.n_pair14:
-        i = exclusions.pair14[:, 0]
-        j = exclusions.pair14[:, 1]
+    if len(static.p14_i):
+        i, j, qq = static.p14_i, static.p14_j, static.p14_qq
         dx = box.minimum_image(positions[i] - positions[j])
         r2 = np.sum(dx * dx, axis=1)
-        qq = charges[i] * charges[j]
-        cs = exclusions.coul_scale14
+        cs = static.coul_scale14
         e14c = float(
             np.sum(qq * (cs * plain_coulomb_energy_kernel(r2) - kspace_pair_energy_kernel(r2, sigma)))
         )
         pref_c = qq * (cs * plain_coulomb_force_kernel(r2) - kspace_pair_force_kernel(r2, sigma))
-        a, b = lj_table.pair_coefficients(type_ids[i], type_ids[j])
-        e_lj, pref_lj = lj_energy_prefactor(r2, a, b)
-        ls = exclusions.lj_scale14
+        e_lj, pref_lj = lj_energy_prefactor(r2, static.p14_a, static.p14_b)
+        ls = static.lj_scale14
         e14lj = ls * float(np.sum(e_lj))
         parts_i.append(i)
         parts_j.append(j)
@@ -126,3 +182,22 @@ def correction_forces(
         j=out_j,
         force=out_f,
     )
+
+
+def correction_forces(
+    positions: np.ndarray,
+    box: Box,
+    charges: np.ndarray,
+    type_ids: np.ndarray,
+    lj_table: "LJTable",
+    exclusions: "ExclusionTable",
+    sigma: float,
+) -> CorrectionResult:
+    """Evaluate all correction terms for one configuration.
+
+    Convenience wrapper around :func:`precompute_correction_static` +
+    :func:`correction_forces_static`; repeated-evaluation callers hold
+    the static part themselves.
+    """
+    static = precompute_correction_static(charges, type_ids, lj_table, exclusions)
+    return correction_forces_static(positions, box, static, sigma)

@@ -91,6 +91,22 @@ def _shift_force_lj(r2, a, b, cutoff):
     return energy, pref
 
 
+def _apply_exclusions(
+    pairs: NeighborPairs, exclusions: ExclusionTable, assume_filtered: bool
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Drop excluded/1-4 pairs unless the list pre-filtered them.
+
+    ``assume_filtered=True`` is set by callers whose pair source (the
+    buffered :class:`~repro.geometry.NeighborList`) already applied the
+    static exclusion mask at build time, skipping the per-evaluation
+    membership search.
+    """
+    if assume_filtered:
+        return pairs.i, pairs.j, pairs.dx, pairs.r2
+    keep = ~exclusions.is_excluded(pairs.i, pairs.j)
+    return pairs.i[keep], pairs.j[keep], pairs.dx[keep], pairs.r2[keep]
+
+
 def nonbonded_real_space(
     pairs: NeighborPairs,
     charges: np.ndarray,
@@ -100,14 +116,14 @@ def nonbonded_real_space(
     ewald_sigma: float,
     lj_mode: str = "shift_force",
     cutoff: float | None = None,
+    assume_filtered: bool = False,
 ) -> NonbondedResult:
     """Analytic range-limited forces over a pair list.
 
     Excluded and 1-4 pairs are skipped entirely here; the correction
     path (:mod:`repro.ewald.correction`) handles them.
     """
-    keep = ~exclusions.is_excluded(pairs.i, pairs.j)
-    i, j, dx, r2 = pairs.i[keep], pairs.j[keep], pairs.dx[keep], pairs.r2[keep]
+    i, j, dx, r2 = _apply_exclusions(pairs, exclusions, assume_filtered)
     qq = charges[i] * charges[j]
     a, b = lj_table.pair_coefficients(type_ids[i], type_ids[j])
 
@@ -145,13 +161,20 @@ _DISPERSION_TIERS: tuple[Tier, ...] = (
 )
 
 
+#: Memoized table sets keyed on the full parameterization.  The Remez
+#: fits behind a table set cost far more than any single evaluation, and
+#: the benchmarks and machine simulator construct many ForceCalculators
+#: with identical parameters — they now share one immutable set.
+_TABLE_CACHE: dict[tuple[float, float, int, float], KernelTableSet] = {}
+
+
 def build_kernel_tables(
     cutoff: float,
     ewald_sigma: float,
     mantissa_bits: int = 22,
     r_floor: float = 1.0,
 ) -> KernelTableSet:
-    """Build the PPIP table set for a cutoff/sigma parameterization.
+    """Build (or fetch the memoized) PPIP table set for a parameterization.
 
     Tables: electrostatic force/energy (screened Coulomb per unit
     charge product) and the r^-12 / r^-6 dispersion force/energy
@@ -161,7 +184,14 @@ def build_kernel_tables(
     without LJ cores (rigid-water H) can be pressed to ~1.4 A by
     hydrogen-bond geometry, so the floor sits at 1.0 A; the tiered
     segmentation keeps the steep small-r region accurate.
+
+    Results are cached per ``(cutoff, sigma, mantissa_bits, r_floor)``;
+    callers treat the returned set as read-only.
     """
+    key = (float(cutoff), float(ewald_sigma), int(mantissa_bits), float(r_floor))
+    cached = _TABLE_CACHE.get(key)
+    if cached is not None:
+        return cached
     ts = KernelTableSet(cutoff=cutoff, r_floor=r_floor)
     ts.add("elec_f", lambda r2: real_space_force_kernel(r2, ewald_sigma) / COULOMB, mantissa_bits=mantissa_bits)
     ts.add("elec_e", lambda r2: real_space_energy_kernel(r2, ewald_sigma) / COULOMB, mantissa_bits=mantissa_bits)
@@ -169,6 +199,7 @@ def build_kernel_tables(
     ts.add("lj6_f", lambda r2: 6.0 / r2**4, tiers=_DISPERSION_TIERS, mantissa_bits=mantissa_bits)
     ts.add("lj12_e", lambda r2: 1.0 / r2**6, tiers=_DISPERSION_TIERS, mantissa_bits=mantissa_bits)
     ts.add("lj6_e", lambda r2: 1.0 / r2**3, tiers=_DISPERSION_TIERS, mantissa_bits=mantissa_bits)
+    _TABLE_CACHE[key] = ts
     return ts
 
 
@@ -179,6 +210,7 @@ def nonbonded_real_space_tabulated(
     lj_table: LJTable,
     exclusions: ExclusionTable,
     tables: KernelTableSet,
+    assume_filtered: bool = False,
 ) -> NonbondedResult:
     """Table-driven range-limited forces (the Anton numerics path).
 
@@ -186,8 +218,7 @@ def nonbonded_real_space_tabulated(
     ``lj_mode="cutoff"``; differences from it measure table error
     (part of Table 4's "numerical force error").
     """
-    keep = ~exclusions.is_excluded(pairs.i, pairs.j)
-    i, j, dx, r2 = pairs.i[keep], pairs.j[keep], pairs.dx[keep], pairs.r2[keep]
+    i, j, dx, r2 = _apply_exclusions(pairs, exclusions, assume_filtered)
     qq = charges[i] * charges[j] * COULOMB
     a, b = lj_table.pair_coefficients(type_ids[i], type_ids[j])
 

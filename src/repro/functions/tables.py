@@ -18,7 +18,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.fixedpoint import BlockFloat, BlockFloatCodec, FixedFormat
-from repro.functions.remez import polyval_ascending, remez_fit
+from repro.functions.remez import remez_fit
 
 __all__ = ["Tier", "ANTON_ELECTROSTATIC_TIERS", "TieredTable", "uniform_tiers"]
 

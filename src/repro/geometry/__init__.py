@@ -1,6 +1,12 @@
 """Geometry substrate: periodic boxes, neighbor search, import regions."""
 
-from repro.geometry.cells import NeighborPairs, brute_force_pairs, neighbor_pairs
+from repro.geometry.cells import (
+    NeighborPairs,
+    brute_force_pairs,
+    cell_candidate_pairs,
+    neighbor_pairs,
+)
+from repro.geometry.neighborlist import NeighborList
 from repro.geometry.pbc import Box
 from repro.geometry.regions import (
     dilated_box_volume,
@@ -12,7 +18,9 @@ from repro.geometry.regions import (
 
 __all__ = [
     "NeighborPairs",
+    "NeighborList",
     "brute_force_pairs",
+    "cell_candidate_pairs",
     "neighbor_pairs",
     "Box",
     "dilated_box_volume",

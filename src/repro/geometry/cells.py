@@ -1,9 +1,16 @@
 """Cell-list neighbor search under periodic boundary conditions.
 
-Produces each within-cutoff pair exactly once.  This is the
-"conventional processor" pair-finding substrate; the simulated machine
-uses the NT method in :mod:`repro.parallel.nt` instead, and the two are
-cross-checked against each other in the integration tests.
+Produces each within-cutoff pair exactly once, in canonical order
+(``i < j``, sorted lexicographically by ``(i, j)``).  The canonical
+ordering makes every pair-producing path — brute force, the vectorized
+cell list, and the buffered :class:`~repro.geometry.neighborlist.NeighborList`
+— return bitwise-identical arrays for the same configuration, so even
+floating-point force sums do not depend on which search path ran.
+
+This is the "conventional processor" pair-finding substrate; the
+simulated machine uses the NT method in :mod:`repro.parallel.nt`
+instead, and the two are cross-checked against each other in the
+integration tests.
 """
 
 from __future__ import annotations
@@ -14,7 +21,7 @@ import numpy as np
 
 from repro.geometry.pbc import Box
 
-__all__ = ["NeighborPairs", "neighbor_pairs", "brute_force_pairs"]
+__all__ = ["NeighborPairs", "neighbor_pairs", "brute_force_pairs", "cell_candidate_pairs"]
 
 # Half stencil: 13 offsets such that each unordered cell pair appears once.
 _HALF_STENCIL = np.array(
@@ -54,11 +61,56 @@ class NeighborPairs:
         return len(self.i)
 
 
-def _filter(positions: np.ndarray, box: Box, ii: np.ndarray, jj: np.ndarray, cutoff: float) -> NeighborPairs:
-    dx = box.minimum_image(positions[ii] - positions[jj])
-    r2 = np.sum(dx * dx, axis=1)
-    keep = r2 < cutoff * cutoff
-    return NeighborPairs(i=ii[keep], j=jj[keep], dx=dx[keep], r2=r2[keep])
+def _empty_pairs() -> NeighborPairs:
+    empty = np.empty(0, dtype=np.int64)
+    return NeighborPairs(empty, empty.copy(), np.empty((0, 3)), np.empty(0))
+
+
+#: Chunk size (pairs) for candidate distance filtering; bounds the
+#: transient dx allocation when the raw candidate set is large.
+_FILTER_CHUNK = 2_000_000
+
+
+def _canonical_order(ii: np.ndarray, jj: np.ndarray, n: int) -> np.ndarray:
+    """Permutation sorting ``(ii, jj)`` pairs lexicographically.
+
+    Pairs are unique and ``ii < jj``, so the single combined key
+    ``ii * n + jj`` (exact in int64 for any realistic atom count)
+    orders them identically to ``np.lexsort((jj, ii))`` at a fraction
+    of the cost.
+    """
+    return np.argsort(ii * np.int64(n) + jj)
+
+
+def _filter(
+    positions: np.ndarray,
+    box: Box,
+    ii: np.ndarray,
+    jj: np.ndarray,
+    cutoff: float,
+    sort: bool = False,
+) -> NeighborPairs:
+    c2 = cutoff * cutoff
+    out_i, out_j, out_dx, out_r2 = [], [], [], []
+    for lo in range(0, len(ii), _FILTER_CHUNK):
+        sl = slice(lo, lo + _FILTER_CHUNK)
+        dx = box.minimum_image(positions[ii[sl]] - positions[jj[sl]])
+        r2 = np.sum(dx * dx, axis=1)
+        keep = r2 < c2
+        out_i.append(ii[sl][keep])
+        out_j.append(jj[sl][keep])
+        out_dx.append(dx[keep])
+        out_r2.append(r2[keep])
+    if not out_i:
+        return _empty_pairs()
+    i = np.concatenate(out_i)
+    j = np.concatenate(out_j)
+    dx = np.concatenate(out_dx)
+    r2 = np.concatenate(out_r2)
+    if sort and len(i):
+        order = _canonical_order(i, j, len(positions))
+        return NeighborPairs(i=i[order], j=j[order], dx=dx[order], r2=r2[order])
+    return NeighborPairs(i=i, j=j, dx=dx, r2=r2)
 
 
 def brute_force_pairs(
@@ -82,8 +134,7 @@ def brute_force_pairs(
         out_dx.append(d[ii_rel, jj])
         out_r2.append(r2[ii_rel, jj])
     if not out_i:
-        empty = np.empty(0, dtype=np.int64)
-        return NeighborPairs(empty, empty.copy(), np.empty((0, 3)), np.empty(0))
+        return _empty_pairs()
     return NeighborPairs(
         i=np.concatenate(out_i),
         j=np.concatenate(out_j),
@@ -92,11 +143,155 @@ def brute_force_pairs(
     )
 
 
+def _grouped_arange(counts: np.ndarray) -> np.ndarray:
+    """Concatenation of ``arange(c)`` for each ``c`` in ``counts``."""
+    counts = np.asarray(counts, dtype=np.int64)
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    ends = np.cumsum(counts)
+    return np.arange(total, dtype=np.int64) - np.repeat(ends - counts, counts)
+
+
+#: Finest binning considered: cells down to ``reach / 3``.  Finer bins
+#: cut candidate oversampling (cell volume vs. cutoff sphere) at the
+#: price of a larger stencil; beyond ~3 the stencil bookkeeping wins.
+_MAX_BIN_REFINE = 3
+
+
+def _half_stencil_offsets(k: int, cell_size: np.ndarray, reach: float) -> np.ndarray:
+    """Half stencil for cells of ``cell_size`` with bins ``reach / k``.
+
+    All lexicographically-positive offsets in ``[-k, k]^3`` whose cells
+    can hold a point within ``reach`` of the home cell: the per-axis
+    face gap is ``(|o| - 1) * cell_size``, and offsets whose gap
+    already exceeds ``reach`` are pruned (trims the corners of the
+    stencil cube toward the cutoff sphere).  Each unordered cell pair
+    appears under exactly one retained offset.
+    """
+    r = np.arange(-k, k + 1, dtype=np.int64)
+    off = np.stack(np.meshgrid(r, r, r, indexing="ij"), axis=-1).reshape(-1, 3)
+    lex_pos = (off[:, 0] > 0) | (
+        (off[:, 0] == 0) & ((off[:, 1] > 0) | ((off[:, 1] == 0) & (off[:, 2] > 0)))
+    )
+    off = off[lex_pos]
+    gap = np.maximum(np.abs(off) - 1, 0) * cell_size
+    return off[np.sum(gap * gap, axis=1) < reach * reach]
+
+
+def _choose_binning(
+    positions: np.ndarray, box: Box, reach: float
+) -> tuple[np.ndarray, np.ndarray] | None:
+    """Pick the finest admissible binning (ncells, stencil) or ``None``.
+
+    A refinement ``k`` bins at ``cell >= reach / k`` and needs at least
+    ``2k + 1`` cells per axis so wrapped stencil cells stay distinct.
+    Guards keep the empty-cell table and the per-atom stencil arrays
+    proportional to the atom count.
+    """
+    n = len(positions)
+    for k in range(_MAX_BIN_REFINE, 0, -1):
+        ncells = np.floor(box.lengths * k / reach).astype(np.int64)
+        if np.any(ncells < 2 * k + 1):
+            continue
+        if int(np.prod(ncells)) > max(64 * n, 4096):
+            continue
+        stencil = _half_stencil_offsets(k, box.lengths / ncells, reach)
+        if n * (len(stencil) + 1) > 80_000_000:
+            continue
+        return ncells, stencil
+    return None
+
+
+def cell_candidate_pairs(
+    positions: np.ndarray, box: Box, reach: float
+) -> tuple[np.ndarray, np.ndarray] | None:
+    """Vectorized candidate pairs from cell binning at ``reach``.
+
+    Returns candidate pairs ``(i, j)`` with ``i < j`` — a superset of
+    all pairs within ``reach``, in unspecified order (callers filter by
+    distance first and canonically sort the survivors, which is far
+    cheaper than sorting the raw candidates) — or ``None`` when the box
+    admits no valid binning (callers fall back to the brute-force
+    path).  ``positions`` must already be wrapped into the primary
+    cell.
+
+    The whole half-stencil sweep is array arithmetic: atoms are binned
+    and sorted by flat cell id once, and for every (atom, stencil
+    offset) the run of atoms in the neighboring cell is expanded with a
+    grouped-arange — no per-cell Python loop.  Bins are refined down to
+    ``reach / 3`` when the box allows it, shrinking the candidate
+    overcount toward the cutoff-sphere volume.
+    """
+    if len(positions) < 64:
+        return None
+    binning = _choose_binning(positions, box, reach)
+    if binning is None:
+        return None
+    ncells, stencil = binning
+
+    cell_size = box.lengths / ncells
+    # Modulo clamps both the exact-L edge (index == ncells) and any
+    # -1 bin from floating-point jitter at 0 into valid cells.
+    cidx = np.floor(positions / cell_size).astype(np.int64) % ncells
+    flat = (cidx[:, 0] * ncells[1] + cidx[:, 1]) * ncells[2] + cidx[:, 2]
+
+    n = len(positions)
+    order = np.argsort(flat, kind="stable")  # atom ids in cell order
+    sorted_flat = flat[order]
+    ntot = int(np.prod(ncells))
+    counts = np.bincount(sorted_flat, minlength=ntot)
+    starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+
+    # Intra-cell pairs: slot p pairs with slots p+1 .. end(cell)-1.
+    slot = np.arange(n, dtype=np.int64)
+    cell_end = starts[sorted_flat] + counts[sorted_flat]
+    k_intra = cell_end - slot - 1
+    ii_slot = np.repeat(slot, k_intra)
+    jj_slot = ii_slot + 1 + _grouped_arange(k_intra)
+    intra_i = order[ii_slot]
+    intra_j = order[jj_slot]
+
+    # Cross-cell pairs over the half stencil, all offsets at once.
+    nbr = (cidx[:, None, :] + stencil[None, :, :]) % ncells  # (n, |stencil|, 3)
+    nbr_flat = ((nbr[..., 0] * ncells[1] + nbr[..., 1]) * ncells[2] + nbr[..., 2]).ravel()
+    cnt = counts[nbr_flat]
+    cross_i = np.repeat(np.repeat(np.arange(n, dtype=np.int64), len(stencil)), cnt)
+    jj_slot = np.repeat(starts[nbr_flat], cnt) + _grouped_arange(cnt)
+    cross_j = order[jj_slot]
+
+    ii = np.concatenate([intra_i, cross_i])
+    jj = np.concatenate([intra_j, cross_j])
+    return np.minimum(ii, jj), np.maximum(ii, jj)
+
+
 def neighbor_pairs(positions: np.ndarray, box: Box, cutoff: float) -> NeighborPairs:
     """Unique atom pairs with minimum-image distance < cutoff.
 
-    Uses a cell list when the box admits at least 3 cells per axis,
-    otherwise falls back to the brute-force path.
+    Uses the vectorized cell list when the box admits a valid binning
+    (at least 3 cells per axis at the coarsest refinement), otherwise
+    falls back to the brute-force path.  Pairs come out in canonical
+    ``(i, j)`` order either way.
+    """
+    positions = box.wrap(np.asarray(positions, dtype=np.float64))
+    if cutoff <= 0:
+        raise ValueError("cutoff must be positive")
+    if cutoff > box.max_cutoff():
+        raise ValueError(
+            f"cutoff {cutoff} exceeds the minimum-image limit {box.max_cutoff()}"
+        )
+    cand = cell_candidate_pairs(positions, box, cutoff)
+    if cand is None:
+        return brute_force_pairs(positions, box, cutoff)
+    return _filter(positions, box, cand[0], cand[1], cutoff, sort=True)
+
+
+def _neighbor_pairs_loop(positions: np.ndarray, box: Box, cutoff: float) -> NeighborPairs:
+    """Seed implementation: per-occupied-cell Python loop.
+
+    Kept (not exported) as the benchmark baseline for the vectorized
+    path and as a second oracle in tests.  Pair order is cell-major,
+    not canonical.
     """
     positions = box.wrap(np.asarray(positions, dtype=np.float64))
     if cutoff <= 0:
@@ -110,8 +305,7 @@ def neighbor_pairs(positions: np.ndarray, box: Box, cutoff: float) -> NeighborPa
         return brute_force_pairs(positions, box, cutoff)
 
     cell_size = box.lengths / ncells
-    cidx = np.floor(positions / cell_size).astype(np.int64)
-    cidx = np.minimum(cidx, ncells - 1)  # guard exact-L edge
+    cidx = np.floor(positions / cell_size).astype(np.int64) % ncells
     flat = (cidx[:, 0] * ncells[1] + cidx[:, 1]) * ncells[2] + cidx[:, 2]
 
     order = np.argsort(flat, kind="stable")
@@ -121,7 +315,7 @@ def neighbor_pairs(positions: np.ndarray, box: Box, cutoff: float) -> NeighborPa
     starts = np.searchsorted(sorted_flat, np.arange(ntot))
     ends = np.searchsorted(sorted_flat, np.arange(ntot), side="right")
 
-    def cell_atoms(cx: np.ndarray, cy: np.ndarray, cz: np.ndarray) -> int:
+    def cell_id(cx: int, cy: int, cz: int) -> int:
         return (cx * ncells[1] + cy) * ncells[2] + cz
 
     out_i, out_j = [], []
@@ -139,7 +333,7 @@ def neighbor_pairs(positions: np.ndarray, box: Box, cutoff: float) -> NeighborPa
         # Half-stencil neighbor cells.
         nbr_atoms = []
         for ox, oy, oz in _HALF_STENCIL:
-            c2flat = cell_atoms((cx + ox) % ncells[0], (cy + oy) % ncells[1], (cz + oz) % ncells[2])
+            c2flat = cell_id((cx + ox) % ncells[0], (cy + oy) % ncells[1], (cz + oz) % ncells[2])
             if c2flat == c:
                 continue
             s, e = starts[c2flat], ends[c2flat]
@@ -150,6 +344,5 @@ def neighbor_pairs(positions: np.ndarray, box: Box, cutoff: float) -> NeighborPa
             out_i.append(np.repeat(a, len(b)))
             out_j.append(np.tile(b, len(a)))
     if not out_i:
-        empty = np.empty(0, dtype=np.int64)
-        return NeighborPairs(empty, empty.copy(), np.empty((0, 3)), np.empty(0))
+        return _empty_pairs()
     return _filter(positions, box, np.concatenate(out_i), np.concatenate(out_j), cutoff)

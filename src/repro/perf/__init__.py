@@ -2,6 +2,7 @@
 cost models reproducing Tables 1-2 and Figure 5."""
 
 from repro.perf.antonmodel import AntonModel
+from repro.perf.timers import Timers
 from repro.perf.model import (
     DESMOND_DHFR_NS_PER_DAY,
     TABLE1_SIMULATIONS,
@@ -18,6 +19,7 @@ from repro.perf.x86model import TaskProfile, X86Model
 
 __all__ = [
     "AntonModel",
+    "Timers",
     "DESMOND_DHFR_NS_PER_DAY",
     "TABLE1_SIMULATIONS",
     "PerformanceModel",

@@ -1,0 +1,77 @@
+"""Lightweight per-component wall-time and event counters.
+
+Every :class:`~repro.core.forces.ForceCalculator` owns a
+:class:`Timers` registry and charges each force component (pair
+search, range-limited kernels, bonded, correction, k-space) to a named
+accumulator; the neighbor list counts its builds and reuses in the
+same registry.  Per-evaluation deltas are surfaced in
+:class:`~repro.core.forces.ForceReport.timings` and the cumulative
+summary in the CLI, so hot-path optimizations — this PR's buffered
+Verlet list and every future one — are measurable without a profiler.
+
+Timing is observational only: nothing in the numerics reads a clock,
+so determinism and bitwise reproducibility are untouched.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from time import perf_counter
+
+__all__ = ["Timers"]
+
+
+class Timers:
+    """Named wall-time accumulators plus event counters."""
+
+    __slots__ = ("elapsed", "counts")
+
+    def __init__(self) -> None:
+        self.elapsed: dict[str, float] = {}
+        self.counts: dict[str, int] = {}
+
+    @contextmanager
+    def time(self, name: str):
+        """Context manager charging the enclosed block to ``name``."""
+        t0 = perf_counter()
+        try:
+            yield
+        finally:
+            self.elapsed[name] = self.elapsed.get(name, 0.0) + (perf_counter() - t0)
+
+    def add(self, name: str, seconds: float) -> None:
+        self.elapsed[name] = self.elapsed.get(name, 0.0) + float(seconds)
+
+    def count(self, name: str, k: int = 1) -> None:
+        self.counts[name] = self.counts.get(name, 0) + int(k)
+
+    # -- snapshots ---------------------------------------------------------
+
+    def snapshot(self) -> dict[str, float]:
+        """Copy of the elapsed-time table (for later :meth:`delta_since`)."""
+        return dict(self.elapsed)
+
+    def delta_since(self, before: dict[str, float]) -> dict[str, float]:
+        """Per-component time accrued since ``before`` was snapshotted."""
+        out = {}
+        for name, total in self.elapsed.items():
+            d = total - before.get(name, 0.0)
+            if d > 0.0:
+                out[name] = d
+        return out
+
+    def reset(self) -> None:
+        self.elapsed.clear()
+        self.counts.clear()
+
+    def summary_lines(self) -> list[str]:
+        """Human-readable cumulative summary, slowest component first."""
+        lines = [
+            f"{name:<18} {secs * 1e3:10.2f} ms"
+            for name, secs in sorted(self.elapsed.items(), key=lambda kv: -kv[1])
+        ]
+        lines += [
+            f"{name:<18} {n:>10d} x"
+            for name, n in sorted(self.counts.items())
+        ]
+        return lines

@@ -16,10 +16,9 @@ import numpy as np
 
 from repro.core import MDParams
 from repro.core.system import ChemicalSystem
-from repro.geometry import neighbor_pairs
+from repro.geometry import NeighborList
 from repro.machine.flexible import TERM_COST
 from repro.parallel.nt import match_efficiency
-from repro.util import WATER_ATOM_DENSITY
 
 __all__ = ["StepWorkload", "workload_from_counts", "workload_from_system", "workload_from_spec"]
 
@@ -144,7 +143,8 @@ def workload_from_system(
     system: ChemicalSystem, params: MDParams, box_side_per_node: float, subbox_divisions: int = 2
 ) -> StepWorkload:
     """Exact workload counted from a built system (small scale)."""
-    pairs = neighbor_pairs(system.positions, system.box, params.cutoff)
+    nlist = NeighborList(system.box, params.cutoff, skin=params.skin)
+    pairs = nlist.pairs(system.positions)
     top = system.topology
     bonded_cost = (
         TERM_COST["bond"] * len(top.bond_idx)

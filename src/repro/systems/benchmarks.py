@@ -14,7 +14,6 @@ from dataclasses import dataclass
 from repro.core.system import ChemicalSystem
 from repro.forcefield import TIP3P, TIP4PEW, WaterModel
 from repro.systems.builder import build_solvated_protein, build_water_box
-from repro.util import WATER_MOLECULE_DENSITY
 
 __all__ = ["BenchmarkSpec", "TABLE4_SYSTEMS", "BPTI", "benchmark_by_name"]
 

@@ -1,0 +1,74 @@
+"""Property tests: the buffered Verlet list is indistinguishable from a
+fresh brute-force search for random boxes, cutoffs, skins, and motion
+histories."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Box, NeighborList, brute_force_pairs
+
+
+def _assert_same_pairs(a, b):
+    np.testing.assert_array_equal(a.i, b.i)
+    np.testing.assert_array_equal(a.j, b.j)
+    np.testing.assert_array_equal(a.dx, b.dx)
+    np.testing.assert_array_equal(a.r2, b.r2)
+
+
+@given(
+    side=st.floats(10.0, 50.0),
+    n=st.integers(2, 120),
+    cutoff_frac=st.floats(0.1, 0.49),
+    skin=st.floats(0.0, 5.0),
+    seed=st.integers(0, 2**31),
+)
+@settings(max_examples=60, deadline=None)
+def test_buffered_list_matches_brute_force(side, n, cutoff_frac, skin, seed):
+    box = Box.cubic(side)
+    cutoff = side * cutoff_frac
+    rng = np.random.default_rng(seed)
+    pos = rng.uniform(0, side, size=(n, 3))
+    nl = NeighborList(box, cutoff, skin=skin)
+    _assert_same_pairs(nl.pairs(pos), brute_force_pairs(box.wrap(pos), box, cutoff))
+
+
+@given(
+    side=st.floats(12.0, 40.0),
+    n=st.integers(16, 100),
+    skin=st.floats(0.5, 4.0),
+    seed=st.integers(0, 2**31),
+    n_moves=st.integers(1, 6),
+)
+@settings(max_examples=40, deadline=None)
+def test_buffered_list_correct_along_a_trajectory(side, n, skin, seed, n_moves):
+    """Random walks through rebuild-triggering and reusing regimes both
+    give exactly the brute-force pair set at every visited configuration."""
+    box = Box.cubic(side)
+    cutoff = side / 4.0
+    rng = np.random.default_rng(seed)
+    pos = rng.uniform(0, side, size=(n, 3))
+    nl = NeighborList(box, cutoff, skin=skin)
+    for _ in range(n_moves):
+        # Mix small (reuse) and large (rebuild) displacements.
+        scale = rng.choice([0.1 * skin, 2.0 * skin])
+        pos = pos + rng.uniform(-scale, scale, size=pos.shape)
+        _assert_same_pairs(nl.pairs(pos), brute_force_pairs(box.wrap(pos), box, cutoff))
+    assert nl.n_builds + nl.n_reuses == n_moves
+
+
+@given(
+    side=st.floats(12.0, 40.0),
+    n=st.integers(16, 80),
+    seed=st.integers(0, 2**31),
+)
+@settings(max_examples=30, deadline=None)
+def test_forced_rebuild_changes_nothing(side, n, seed):
+    box = Box.cubic(side)
+    cutoff = side / 4.0
+    rng = np.random.default_rng(seed)
+    pos = rng.uniform(0, side, size=(n, 3))
+    nl = NeighborList(box, cutoff, skin=2.0)
+    before = nl.pairs(pos)
+    nl.build(pos)
+    _assert_same_pairs(before, nl.pairs(pos))

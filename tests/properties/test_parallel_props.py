@@ -3,7 +3,6 @@
 import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
-from hypothesis.extra.numpy import arrays
 
 from repro.geometry import Box, neighbor_pairs
 from repro.parallel import (

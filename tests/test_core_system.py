@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core import ChemicalSystem
-from repro.forcefield import TIP4PEW, LJTable, Topology, add_water_to_topology
+from repro.forcefield import TIP4PEW, LJTable, Topology
 from repro.geometry import Box
 from repro.systems import build_water_box
 from repro.util import BOLTZMANN

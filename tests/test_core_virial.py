@@ -17,7 +17,6 @@ from repro.core import (
 from repro.core.virial import BAR_PER_KCAL_MOL_A3
 from repro.forcefield import LJTable, Topology
 from repro.geometry import Box
-from repro.util import BOLTZMANN
 
 
 def lj_gas(n_side=4, spacing=10.0, temperature=150.0, seed=0):

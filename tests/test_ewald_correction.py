@@ -13,7 +13,7 @@ from repro.ewald import (
     self_energy,
 )
 from repro.forcefield import LJTable, Topology, build_exclusions
-from repro.geometry import Box, NeighborPairs, brute_force_pairs
+from repro.geometry import Box, brute_force_pairs
 from repro.util import COULOMB
 
 
@@ -117,3 +117,42 @@ class TestCorrectionForces:
         ex = build_exclusions(top)
         out = correction_forces(pos, box, charges, np.zeros(2, np.int64), LJTable([3.0], [0.1]), ex, 2.0)
         assert out.energy_exclusion < 0
+
+
+class TestStaticPrecompute:
+    def _setup(self):
+        box = Box.cubic(12.0)
+        rng = np.random.default_rng(17)
+        pos = rng.uniform(0, 12, (12, 3))
+        charges = rng.uniform(-0.6, 0.6, 12)
+        types = np.zeros(12, np.int64)
+        lj = LJTable([3.0], [0.1])
+        top = Topology(12)
+        for a in range(0, 10):
+            top.add_bond(a, a + 1, 100.0, 1.2)
+        return box, pos, charges, types, lj, build_exclusions(top)
+
+    def test_static_path_matches_wrapper_bitwise(self):
+        from repro.ewald import correction_forces_static, precompute_correction_static
+
+        box, pos, charges, types, lj, ex = self._setup()
+        static = precompute_correction_static(charges, types, lj, ex)
+        got = correction_forces_static(pos, box, static, 2.0)
+        ref = correction_forces(pos, box, charges, types, lj, ex, 2.0)
+        np.testing.assert_array_equal(got.i, ref.i)
+        np.testing.assert_array_equal(got.j, ref.j)
+        np.testing.assert_array_equal(got.force, ref.force)
+        assert got.energy == ref.energy
+        assert got.energy_14_lj == ref.energy_14_lj
+
+    def test_static_data_reusable_across_configurations(self):
+        from repro.ewald import correction_forces_static, precompute_correction_static
+
+        box, pos, charges, types, lj, ex = self._setup()
+        static = precompute_correction_static(charges, types, lj, ex)
+        rng = np.random.default_rng(18)
+        for _ in range(3):
+            pos = box.wrap(pos + rng.uniform(-0.5, 0.5, pos.shape))
+            got = correction_forces_static(pos, box, static, 2.0)
+            ref = correction_forces(pos, box, charges, types, lj, ex, 2.0)
+            np.testing.assert_array_equal(got.force, ref.force)

@@ -182,3 +182,24 @@ class TestTabulatedPath:
         f_scale = np.sqrt(np.mean(analytic.force**2))
         assert np.max(np.abs(tab.force - analytic.force)) < 1e-3 * max(f_scale, 1.0)
         assert tab.energy == pytest.approx(analytic.energy, rel=1e-3, abs=1e-3)
+
+
+class TestKernelTableMemoization:
+    def test_same_parameters_share_one_table_set(self):
+        a = build_kernel_tables(7.0, 1.9, mantissa_bits=22, r_floor=0.9)
+        b = build_kernel_tables(7.0, 1.9, mantissa_bits=22, r_floor=0.9)
+        assert a is b
+
+    def test_distinct_parameters_build_distinct_sets(self):
+        a = build_kernel_tables(7.0, 1.9, mantissa_bits=22, r_floor=0.9)
+        b = build_kernel_tables(7.0, 1.9, mantissa_bits=20, r_floor=0.9)
+        c = build_kernel_tables(7.5, 1.9, mantissa_bits=22, r_floor=0.9)
+        assert a is not b and a is not c
+
+    def test_memoized_tables_evaluate_identically(self):
+        import numpy as np
+
+        a = build_kernel_tables(6.0, 1.7)
+        b = build_kernel_tables(6.0, 1.7)
+        r2 = np.linspace(1.5, 35.0, 64)
+        np.testing.assert_array_equal(a.evaluate("elec_f", r2), b.evaluate("elec_f", r2))

@@ -96,3 +96,39 @@ class TestNeighborPairs:
         pos = np.array([[0.0, 0.0, 0.0], [15.0 - 1e-12, 0.0, 0.0], [7.5, 7.5, 7.5]])
         pairs = neighbor_pairs(pos, box, 3.0)
         assert (0, 1) in _pair_set(pairs)
+
+
+class TestCellIndexClamp:
+    def test_pathological_edge_positions(self):
+        # Positions at 0, exactly L, denormal-negative, and L - ulp all
+        # bin into valid cells (the index is taken modulo ncells, which
+        # clamps both the exact-L edge and any -1 jitter at 0).
+        box = Box.cubic(15.0)
+        rng = np.random.default_rng(19)
+        pos = rng.uniform(0, 15, size=(80, 3))
+        pos[0] = [0.0, 0.0, 0.0]
+        pos[1] = [15.0, 15.0, 15.0]
+        pos[2] = [-1e-300, 7.5, 7.5]
+        pos[3] = [np.nextafter(15.0, 0.0)] * 3
+        cell = neighbor_pairs(pos, box, 4.0)
+        brute = brute_force_pairs(box.wrap(pos), box, 4.0)
+        assert _pair_set(cell) == _pair_set(brute)
+
+    def test_loop_and_vectorized_paths_agree(self):
+        from repro.geometry.cells import _neighbor_pairs_loop
+
+        box = Box(np.array([16.0, 21.0, 27.0]))
+        rng = np.random.default_rng(23)
+        pos = rng.uniform(0, 1, size=(500, 3)) * box.lengths
+        vec = neighbor_pairs(pos, box, 4.8)
+        loop = _neighbor_pairs_loop(pos, box, 4.8)
+        assert _pair_set(vec) == _pair_set(loop)
+
+    def test_canonical_pair_order(self):
+        box = Box.cubic(22.0)
+        rng = np.random.default_rng(29)
+        pos = rng.uniform(0, 22, size=(300, 3))
+        pairs = neighbor_pairs(pos, box, 5.0)
+        assert np.all(pairs.i < pairs.j)
+        order = np.lexsort((pairs.j, pairs.i))
+        np.testing.assert_array_equal(order, np.arange(len(pairs)))

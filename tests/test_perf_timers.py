@@ -1,0 +1,80 @@
+"""Unit tests for the per-component timing counter layer."""
+
+import time
+
+import numpy as np
+
+from repro.core import FixedPointConfig, ForceCalculator, MDParams
+from repro.perf import Timers
+from repro.systems import build_water_box
+
+PARAMS = MDParams(cutoff=4.5, skin=1.0, mesh=(16, 16, 16))
+
+
+class TestTimers:
+    def test_time_accumulates(self):
+        t = Timers()
+        with t.time("work"):
+            time.sleep(0.002)
+        with t.time("work"):
+            time.sleep(0.002)
+        assert t.elapsed["work"] >= 0.004
+
+    def test_counts(self):
+        t = Timers()
+        t.count("events")
+        t.count("events", 3)
+        assert t.counts["events"] == 4
+
+    def test_delta_since(self):
+        t = Timers()
+        t.add("a", 1.0)
+        before = t.snapshot()
+        t.add("a", 0.5)
+        t.add("b", 0.25)
+        assert t.delta_since(before) == {"a": 0.5, "b": 0.25}
+
+    def test_reset(self):
+        t = Timers()
+        t.add("a", 1.0)
+        t.count("n")
+        t.reset()
+        assert t.elapsed == {} and t.counts == {}
+
+    def test_summary_lines_sorted_by_time(self):
+        t = Timers()
+        t.add("slow", 2.0)
+        t.add("fast", 0.1)
+        t.count("events", 5)
+        lines = t.summary_lines()
+        assert lines[0].startswith("slow")
+        assert any("events" in ln for ln in lines)
+
+
+class TestForceReportTimings:
+    def test_compute_populates_component_timings(self):
+        system = build_water_box(n_molecules=32, seed=41)
+        calc = ForceCalculator(system, PARAMS)
+        report = calc.compute(system.positions)
+        for key in ("pair_list", "range_limited", "correction", "kspace"):
+            assert key in report.timings
+            assert report.timings[key] >= 0.0
+        # Cumulative registry holds at least what this report charged.
+        assert calc.timers.elapsed["pair_list"] >= report.timings["pair_list"]
+
+    def test_compute_fixed_populates_component_timings(self):
+        system = build_water_box(n_molecules=32, seed=42)
+        calc = ForceCalculator(system, PARAMS)
+        codec = FixedPointConfig().force_codec()
+        _codes, report = calc.compute_fixed(system.positions, codec)
+        assert "range_limited" in report.timings
+        assert "kspace" in report.timings
+
+    def test_timers_do_not_perturb_forces(self):
+        system = build_water_box(n_molecules=32, seed=43)
+        calc_a = ForceCalculator(system, PARAMS)
+        calc_b = ForceCalculator(system, PARAMS)
+        f_a = calc_a.compute(system.positions).forces
+        calc_b.compute(system.positions)
+        f_b = calc_b.compute(system.positions).forces  # second eval reuses list
+        np.testing.assert_array_equal(f_a, f_b)
