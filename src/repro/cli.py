@@ -41,6 +41,12 @@ def _add_machine(sub) -> None:
     p.add_argument("--steps", type=int, default=8)
     p.add_argument("--check-invariance", action="store_true",
                    help="also run on 1 node and compare bitwise")
+    p.add_argument("--backend", choices=("serial", "vectorized", "process"),
+                   default="vectorized",
+                   help="execution backend (state codes are bitwise "
+                        "identical across all of them)")
+    p.add_argument("--timings", action="store_true",
+                   help="print per-phase machine engine timings after the run")
 
 
 def _add_perf(sub) -> None:
@@ -107,23 +113,32 @@ def cmd_machine(args) -> int:
     minimize_energy(base, params, max_steps=40)
     base.initialize_velocities(300.0, seed=8)
 
-    machine = AntonMachine(base.copy(), params, n_nodes=args.nodes, dt=1.0)
+    machine = AntonMachine(
+        base.copy(), params, n_nodes=args.nodes, dt=1.0, backend=args.backend
+    )
     machine.step(args.steps)
     print(f"{args.nodes}-node machine, {args.steps} steps "
-          f"({machine.topology.dims[0]}x{machine.topology.dims[1]}x{machine.topology.dims[2]} torus)")
+          f"({machine.topology.dims[0]}x{machine.topology.dims[1]}x{machine.topology.dims[2]} torus), "
+          f"{args.backend} backend")
     print(f"messages/node/step: {machine.messages_per_node_per_step():.1f}")
     for tag, (msgs, nbytes) in sorted(machine.traffic_summary().items()):
         print(f"  {tag:<20} {msgs:>8} msgs {nbytes:>12} bytes")
+    if args.timings:
+        print(f"engine time: {machine.engine_seconds() * 1e3:.1f} ms")
+        for name, secs in sorted(machine.phase_timings().items(), key=lambda kv: -kv[1]):
+            print(f"  {name:<20} {secs * 1e3:10.2f} ms")
+    ok = True
     if args.check_invariance:
-        ref = AntonMachine(base.copy(), params, n_nodes=1, dt=1.0)
+        ref = AntonMachine(base.copy(), params, n_nodes=1, dt=1.0, backend=args.backend)
         ref.step(args.steps)
         same = all(
             np.array_equal(a, b) for a, b in zip(machine.state_codes(), ref.state_codes())
         )
         print(f"bitwise identical to the 1-node machine: {same}")
-        if not same:
-            return 1
-    return 0
+        ref.close()
+        ok = same
+    machine.close()
+    return 0 if ok else 1
 
 
 def cmd_perf(args) -> int:

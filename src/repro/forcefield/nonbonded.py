@@ -222,13 +222,13 @@ def nonbonded_real_space_tabulated(
     qq = charges[i] * charges[j] * COULOMB
     a, b = lj_table.pair_coefficients(type_ids[i], type_ids[j])
 
-    p = (
-        qq * tables.evaluate("elec_f", r2)
-        + a * tables.evaluate("lj12_f", r2)
-        - b * tables.evaluate("lj6_f", r2)
-    )
-    e_coul = qq * tables.evaluate("elec_e", r2)
-    e_lj = a * tables.evaluate("lj12_e", r2) - b * tables.evaluate("lj6_e", r2)
+    # One normalization and one segment lookup per distinct tier layout
+    # (electrostatic and dispersion) feed all six table evaluations —
+    # bitwise identical to six independent ``tables.evaluate`` calls.
+    ev = tables.shared_evaluator(tables.normalize(r2))
+    p = qq * ev("elec_f") + a * ev("lj12_f") - b * ev("lj6_f")
+    e_coul = qq * ev("elec_e")
+    e_lj = a * ev("lj12_e") - b * ev("lj6_e")
     return NonbondedResult(
         energy_lj=float(np.sum(e_lj)),
         energy_coul=float(np.sum(e_coul)),

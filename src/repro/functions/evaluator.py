@@ -70,10 +70,41 @@ class KernelTableSet:
         self.tables[name] = table
         return table
 
+    def normalize(self, r2: np.ndarray | float) -> np.ndarray:
+        """Map squared distances to the clamped table coordinate ``u``.
+
+        Exactly the transform :meth:`evaluate` applies internally, so a
+        normalized array can be shared across several table lookups.
+        """
+        u = np.asarray(r2, dtype=np.float64) / self.cutoff**2
+        return np.minimum(u, np.nextafter(1.0, 0.0))
+
     def evaluate(self, name: str, r2: np.ndarray | float) -> np.ndarray:
         """Evaluate a tabulated kernel at squared distances r² (A²)."""
-        u = np.asarray(r2, dtype=np.float64) / self.cutoff**2
-        return self.tables[name].evaluate(np.minimum(u, np.nextafter(1.0, 0.0)))
+        return self.tables[name].evaluate(self.normalize(r2))
+
+    def shared_evaluator(self, u: np.ndarray):
+        """A one-``locate``-many-tables evaluator over fixed ``u``.
+
+        Returns ``ev(name)`` which evaluates table ``name`` at ``u``
+        (pre-normalized via :meth:`normalize`), computing the
+        segment-index/local-coordinate lookup once per distinct
+        segmentation instead of once per table.  Tables sharing a
+        :meth:`~repro.functions.tables.TieredTable.segmentation_key`
+        reuse the lookup; results are bitwise identical to
+        :meth:`evaluate`.
+        """
+        cache: dict[tuple[bytes, bytes], tuple[np.ndarray, np.ndarray]] = {}
+
+        def ev(name: str) -> np.ndarray:
+            table = self.tables[name]
+            key = table.segmentation_key()
+            loc = cache.get(key)
+            if loc is None:
+                loc = cache[key] = table.locate(u)
+            return table.evaluate_at(*loc)
+
+        return ev
 
     def names(self) -> list[str]:
         return sorted(self.tables)

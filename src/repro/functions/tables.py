@@ -93,6 +93,7 @@ class TieredTable:
         self.blocks = blocks
         self.mantissa_bits = mantissa_bits
         self.fit_errors = fit_errors
+        self._seg_key: tuple[bytes, bytes] | None = None
 
     # -- construction ---------------------------------------------------
 
@@ -199,6 +200,39 @@ class TieredTable:
         idx = self.segment_index(u)
         t = self._local_t(u, idx)
         c = coeffs[idx]  # (m, degree+1)
+        out = c[..., -1].copy()
+        for k in range(c.shape[-1] - 2, -1, -1):
+            out = out * t + c[..., k]
+        return out
+
+    def segmentation_key(self) -> tuple[bytes, bytes]:
+        """Hashable identity of the segment layout.
+
+        Tables with equal keys map any ``u`` to the same ``(idx, t)``,
+        so one :meth:`locate` result can feed all of their
+        :meth:`evaluate_at` calls — the software analog of the PPIP
+        sharing a single r²-to-segment lookup between its two function
+        pipelines (Section 4).
+        """
+        if self._seg_key is None:
+            self._seg_key = (self.seg_starts.tobytes(), self.seg_widths.tobytes())
+        return self._seg_key
+
+    def locate(self, u: np.ndarray | float) -> tuple[np.ndarray, np.ndarray]:
+        """Segment indices and local coordinates ``t`` for ``u``.
+
+        The pair is reusable by :meth:`evaluate_at` on any table whose
+        :meth:`segmentation_key` matches this one's.
+        """
+        u = np.asarray(u, dtype=np.float64)
+        idx = self.segment_index(u)
+        return idx, self._local_t(u, idx)
+
+    def evaluate_at(self, idx: np.ndarray, t: np.ndarray) -> np.ndarray:
+        """Quantized-coefficient Horner evaluation at a precomputed
+        :meth:`locate` result — bitwise identical to :meth:`evaluate`
+        of the same ``u``."""
+        c = self.coeffs_quant[idx]
         out = c[..., -1].copy()
         for k in range(c.shape[-1] - 2, -1, -1):
             out = out * t + c[..., k]

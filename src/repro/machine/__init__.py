@@ -1,6 +1,13 @@
 """The simulated Anton machine: hardware constants, HTIS and
 flexible-subsystem models, and the functional whole-machine simulator."""
 
+from repro.machine.backends import (
+    MachineBackend,
+    ProcessBackend,
+    SerialBackend,
+    VectorizedBackend,
+    make_backend,
+)
 from repro.machine.config import ANTON_2008, AntonHardware
 from repro.machine.flexible import (
     BondTerm,
@@ -22,4 +29,9 @@ __all__ = [
     "HTISTiming",
     "AntonMachine",
     "MachineForceCalculator",
+    "MachineBackend",
+    "SerialBackend",
+    "VectorizedBackend",
+    "ProcessBackend",
+    "make_backend",
 ]

@@ -1,0 +1,590 @@
+"""Execution backends for the functional machine simulation.
+
+Three interchangeable strategies run the per-node work of a machine
+time step:
+
+* :class:`SerialBackend` — the literal per-node Python loops of the
+  original implementation: deposits grouped node by node, GSE spreading
+  and interpolation called once per owning node, traffic charged one
+  ``send`` at a time.  Kept as the baseline the scaling benchmark
+  measures against.
+* :class:`VectorizedBackend` (the default) — the same contributions
+  deposited by single array kernels, owner grouping collapsed (integer
+  accumulation commutes, so grouping cannot change the bits), cached
+  import routes, and bincount-batched traffic accounting.
+* :class:`ProcessBackend` — the vectorized engine with the
+  range-limited pair kernel sharded over a persistent pool of forked
+  worker processes that share the pair arrays through anonymous shared
+  memory and return int64 partial force codes, reduced by integer
+  addition in the parent.
+
+All three produce bitwise-identical ``state_codes()`` trajectories:
+every force contribution is quantized once and integer-accumulated, so
+*where* and *in what order* contributions are summed is invisible —
+the paper's parallel-invariance argument (Section 4) applied to the
+simulator's own execution strategy.  The process backend's per-chunk
+energy sums are reduced in a fixed chunk order, so its reported
+energies are independent of the worker count (they may differ from the
+serial path's one-pass float sums by rounding, but energies are
+diagnostics — forces are exact).
+
+Backends also charge their engine phases to ``machine_*`` timers
+(``machine_nt_assign``, ``machine_deposit``, ``machine_mesh``,
+``machine_traffic``) on the calculator's
+:class:`~repro.perf.timers.Timers`.
+"""
+
+from __future__ import annotations
+
+import os
+import weakref
+
+import numpy as np
+
+from repro.forcefield.nonbonded import (
+    NonbondedResult,
+    nonbonded_real_space,
+    nonbonded_real_space_tabulated,
+)
+from repro.geometry.cells import NeighborPairs
+from repro.parallel import (
+    NTAssignment,
+    nt_assign_pairs,
+    nt_node_tables,
+    tower_plate_boxes,
+)
+
+__all__ = [
+    "MachineBackend",
+    "SerialBackend",
+    "VectorizedBackend",
+    "ProcessBackend",
+    "make_backend",
+]
+
+#: Atom-chunk size for the vectorized GSE passes.  Small chunks keep the
+#: ~2200-point stencil arrays cache-resident across the several numpy
+#: passes of spreading/interpolation, which measures ~3x faster than
+#: whole-array passes at 5k atoms on one core.
+_GSE_CHUNK = 128
+
+#: Pairs per work unit in the process backend.  Chunk boundaries depend
+#: only on the pair count, never on the worker count, so per-chunk
+#: energies (and their fixed-order reduction) are scheduling-invariant.
+_PAIR_CHUNK = 32768
+
+#: Largest box-pair count tabulated by the vectorized NT lookup; above
+#: this (>= 2048 nodes) the direct per-pair computation is used.
+_NT_TABLE_MAX_ENTRIES = 4 << 20
+
+
+def _force_export_side(machine, pair_nodes: np.ndarray, atoms: np.ndarray):
+    """Exact force-export routes for one side of the pair list.
+
+    Each remote (atom, computing-node) contribution is one summed force
+    vector travelling from the computing node to the atom's owner; the
+    per-route byte count is the exact count of such vectors (times
+    ``bytes_per_force``, floored at the minimum message size) — the old
+    even-split integer division undercounted by up to
+    ``len(routes) - 1`` force records per step.
+
+    Returns ``(src, dst, nbytes)`` arrays, or None when nothing leaves
+    its computing node.
+    """
+    owner = machine.owners[atoms]
+    remote = pair_nodes != owner
+    if not np.any(remote):
+        return None
+    n = np.int64(machine.topology.n_nodes)
+    contrib = np.unique(atoms[remote] * n + pair_nodes[remote])
+    c_src = contrib % n
+    route = c_src * n + machine.owners[contrib // n]
+    routes, counts = np.unique(route, return_counts=True)
+    nbytes = np.maximum(
+        counts * machine.hw.bytes_per_force, machine.hw.min_message_bytes
+    )
+    return routes // n, routes % n, nbytes
+
+
+class MachineBackend:
+    """Strategy interface for one machine step's per-node execution."""
+
+    name = "base"
+
+    def bind(self, calc) -> None:
+        """Attach to a MachineForceCalculator (called once by it)."""
+        self.calc = calc
+
+    def close(self) -> None:
+        """Release any external resources (worker pools)."""
+
+    # -- force deposit phases -------------------------------------------
+
+    def range_limited(self, calc, positions, force_codec, acc):
+        """Compute + deposit range-limited pair forces; return (nb, assignment)."""
+        raise NotImplementedError
+
+    def deposit_bonded(self, calc, acc, bonded, force_codec) -> None:
+        raise NotImplementedError
+
+    def deposit_corrections(self, calc, acc, corr, ccodes) -> None:
+        raise NotImplementedError
+
+    def mesh_long_range(self, calc, positions, acc, force_codec) -> float:
+        """Spread/solve/interpolate the GSE mesh; returns the k-space energy."""
+        raise NotImplementedError
+
+    # -- traffic accounting ---------------------------------------------
+
+    def account_position_import(self, machine) -> None:
+        raise NotImplementedError
+
+    def account_force_export(self, machine, pair_nodes, i, j) -> None:
+        raise NotImplementedError
+
+
+class SerialBackend(MachineBackend):
+    """Per-node Python loops — the original execution strategy.
+
+    Every phase iterates over simulated nodes (or routes) in Python, so
+    its cost grows with the node count even though the physics does
+    not.  This is the pre-vectorization baseline preserved for the
+    scaling benchmark and for differential testing.
+    """
+
+    name = "serial"
+
+    def _deposit_by_node(self, calc, acc, node, i, j, codes) -> None:
+        """Deposit pair contributions node by node (ascending id)."""
+        order = np.argsort(node, kind="stable")
+        n_nodes = calc.machine.topology.n_nodes
+        boundaries = np.searchsorted(node[order], np.arange(n_nodes + 1))
+        for n in range(n_nodes):
+            sel = order[boundaries[n] : boundaries[n + 1]]
+            if len(sel):
+                acc.deposit(i[sel], codes[sel])
+                acc.deposit(j[sel], -codes[sel])
+
+    def range_limited(self, calc, positions, force_codec, acc):
+        m = calc.machine
+        nb = calc._range_limited(positions)
+        with calc.timers.time("machine_nt_assign"):
+            assign = nt_assign_pairs(m.decomp, positions, nb.i, nb.j)
+        codes = force_codec.quantize_round_only(nb.force)
+        with calc.timers.time("machine_deposit"):
+            self._deposit_by_node(calc, acc, assign.node, nb.i, nb.j, codes)
+        return nb, assign
+
+    def deposit_bonded(self, calc, acc, bonded, force_codec) -> None:
+        term_nodes = calc.machine.bond_assignment.term_node
+        offset = 0
+        for contrib in bonded:
+            if contrib.n_terms:
+                t_nodes = term_nodes[offset : offset + contrib.n_terms]
+                c = force_codec.quantize_round_only(contrib.force)
+                for n in np.unique(t_nodes):
+                    sel = t_nodes == n
+                    acc.deposit(contrib.idx[sel].ravel(), c[sel].reshape(-1, 3))
+            offset += contrib.n_terms
+
+    def deposit_corrections(self, calc, acc, corr, ccodes) -> None:
+        corr_nodes = calc.machine.owners[corr.i]
+        self._deposit_by_node(calc, acc, corr_nodes, corr.i, corr.j, ccodes)
+
+    def mesh_long_range(self, calc, positions, acc, force_codec) -> float:
+        s, m, gse = calc.system, calc.machine, calc.gse
+        # Charge spreading: each node spreads the atoms it owns into a
+        # shared fixed-point mesh (order-invariant by construction).
+        mesh_acc = np.zeros(gse.mesh_point_count(), dtype=np.int64)
+        for n in range(m.topology.n_nodes):
+            mine = m.owners == n
+            if np.any(mine):
+                gse.spread_contributions(
+                    positions[mine], s.charges[mine], mesh_acc, calc.mesh_codec
+                )
+        Q = calc.mesh_codec.reconstruct(calc.mesh_codec.wrap(mesh_acc)).reshape(
+            tuple(gse.mesh)
+        )
+        m.account_fft()
+        phi, e_k = gse.solve(Q)
+
+        # Force interpolation, per owning node.
+        for n in range(m.topology.n_nodes):
+            mine = np.nonzero(m.owners == n)[0]
+            if len(mine):
+                f_k = gse.interpolate_forces(positions[mine], s.charges[mine], phi)
+                acc.deposit(mine, force_codec.quantize_round_only(f_k))
+        return e_k
+
+    def account_position_import(self, machine) -> None:
+        counts = machine._node_occupancy()
+        reach = machine.params.cutoff + machine.migration.import_margin()
+        for node in range(machine.topology.n_nodes):
+            tower, plate = tower_plate_boxes(
+                machine.decomp, machine.topology.coord(node), reach
+            )
+            for bx in tower | plate:
+                src = machine.topology.node_id(bx)
+                if src == node or counts[src] == 0:
+                    continue
+                machine.network.send(
+                    src,
+                    node,
+                    int(counts[src]) * machine.hw.bytes_per_position,
+                    tag="position_import",
+                )
+
+    def account_force_export(self, machine, pair_nodes, i, j) -> None:
+        for atoms in (i, j):
+            out = _force_export_side(machine, pair_nodes, atoms)
+            if out is None:
+                continue
+            for src, dst, nbytes in zip(*out):
+                machine.network.send(int(src), int(dst), int(nbytes), tag="force_export")
+
+
+class VectorizedBackend(MachineBackend):
+    """Segmented group-by execution: one array kernel per phase.
+
+    Owner/node grouping is dropped wherever integer accumulation makes
+    it unobservable, the NT assignment reuses one ``box_coord`` pass
+    over the whole configuration, GSE spreading/interpolation runs as
+    cache-sized chunked passes over all atoms, and traffic is charged
+    through :meth:`~repro.parallel.comm.SimNetwork.send_batch` with
+    routes computed by array ops (position-import routes are static per
+    machine and cached).  Bitwise identical to :class:`SerialBackend`.
+    """
+
+    name = "vectorized"
+
+    def bind(self, calc) -> None:
+        super().bind(calc)
+        self._import_routes: tuple[np.ndarray, np.ndarray] | None = None
+        self._nt_tables: tuple[np.ndarray, np.ndarray] | None = None
+
+    def _assign_pairs(self, m, positions, i, j) -> NTAssignment:
+        """NT assignment via the tabulated box-pair rule.
+
+        The computing node is a pure function of the two home-box ids
+        (see :func:`~repro.parallel.nt.nt_node_tables`), so per step
+        the whole assignment is one ``box_coord`` pass over the
+        configuration plus two gathers — identical bits to the direct
+        rule at a fraction of the array passes.
+        """
+        n = m.topology.n_nodes
+        if n * n > _NT_TABLE_MAX_ENTRIES:
+            coords = m.decomp.box_coord(positions)
+            return nt_assign_pairs(m.decomp, positions, i, j, atom_box_coords=coords)
+        if self._nt_tables is None:
+            self._nt_tables = nt_node_tables(m.decomp)
+        node_tab, neutral_tab = self._nt_tables
+        flat = m.decomp.node_of(positions)
+        key = flat[i] * np.int64(n) + flat[j]
+        return NTAssignment(
+            node=node_tab.ravel()[key], neutral=neutral_tab.ravel()[key]
+        )
+
+    def range_limited(self, calc, positions, force_codec, acc):
+        m = calc.machine
+        nb = calc._range_limited(positions)
+        with calc.timers.time("machine_nt_assign"):
+            assign = self._assign_pairs(m, positions, nb.i, nb.j)
+        codes = force_codec.quantize_round_only(nb.force)
+        with calc.timers.time("machine_deposit"):
+            acc.deposit(nb.i, codes)
+            acc.deposit(nb.j, -codes)
+        return nb, assign
+
+    def deposit_bonded(self, calc, acc, bonded, force_codec) -> None:
+        for contrib in bonded:
+            if contrib.n_terms:
+                c = force_codec.quantize_round_only(contrib.force)
+                acc.deposit(contrib.idx.ravel(), c.reshape(-1, 3))
+
+    def deposit_corrections(self, calc, acc, corr, ccodes) -> None:
+        acc.deposit(corr.i, ccodes)
+        acc.deposit(corr.j, -ccodes)
+
+    def mesh_long_range(self, calc, positions, acc, force_codec) -> float:
+        s, m, gse = calc.system, calc.machine, calc.gse
+        mesh_acc = np.zeros(gse.mesh_point_count(), dtype=np.int64)
+        gse.spread_contributions(
+            positions, s.charges, mesh_acc, calc.mesh_codec, chunk=_GSE_CHUNK
+        )
+        Q = calc.mesh_codec.reconstruct(calc.mesh_codec.wrap(mesh_acc)).reshape(
+            tuple(gse.mesh)
+        )
+        m.account_fft()
+        phi, e_k = gse.solve(Q)
+        f_k = gse.interpolate_forces(positions, s.charges, phi, chunk=_GSE_CHUNK)
+        acc.deposit_dense(force_codec.quantize_round_only(f_k))
+        return e_k
+
+    def _import_route_arrays(self, machine) -> tuple[np.ndarray, np.ndarray]:
+        """(src, dst) node ids of every tower/plate import route.
+
+        The import region depends only on the decomposition and the
+        (constant) reach, so the routes are computed once per machine.
+        """
+        if self._import_routes is None:
+            reach = machine.params.cutoff + machine.migration.import_margin()
+            srcs, dsts = [], []
+            for node in range(machine.topology.n_nodes):
+                tower, plate = tower_plate_boxes(
+                    machine.decomp, machine.topology.coord(node), reach
+                )
+                for bx in tower | plate:
+                    src = machine.topology.node_id(bx)
+                    if src != node:
+                        srcs.append(src)
+                        dsts.append(node)
+            self._import_routes = (
+                np.asarray(srcs, dtype=np.int64),
+                np.asarray(dsts, dtype=np.int64),
+            )
+        return self._import_routes
+
+    def account_position_import(self, machine) -> None:
+        counts = machine._node_occupancy()
+        src, dst = self._import_route_arrays(machine)
+        nbytes = counts[src] * machine.hw.bytes_per_position
+        occupied = nbytes > 0
+        machine.network.send_batch(
+            src[occupied], dst[occupied], nbytes[occupied], tag="position_import"
+        )
+
+    def _force_export_side_counts(self, machine, pair_nodes, atoms):
+        """Bincount equivalent of :func:`_force_export_side`.
+
+        Both key spaces are small (``n_atoms * n_nodes`` and
+        ``n_nodes**2``), so counting replaces the sort behind
+        ``np.unique`` with linear passes.  Local contributions (the
+        computing node owns the atom) survive to the route stage here
+        but land on src == dst routes, which ``send_batch`` drops —
+        the charged statistics are exactly the serial backend's.
+        """
+        n = np.int64(machine.topology.n_nodes)
+        contrib = np.nonzero(np.bincount(atoms * n + pair_nodes))[0]
+        route = (contrib % n) * n + machine.owners[contrib // n]
+        counts = np.bincount(route, minlength=int(n * n))
+        routes = np.nonzero(counts)[0]
+        nbytes = np.maximum(
+            counts[routes] * machine.hw.bytes_per_force, machine.hw.min_message_bytes
+        )
+        return routes // n, routes % n, nbytes
+
+    def account_force_export(self, machine, pair_nodes, i, j) -> None:
+        for atoms in (i, j):
+            out = self._force_export_side_counts(machine, pair_nodes, atoms)
+            machine.network.send_batch(*out, tag="force_export")
+
+
+# -- multiprocess backend ------------------------------------------------
+
+#: Per-worker-process context, installed by the pool initializer.
+_WORKER_CTX = None
+
+
+def _worker_init(ctx) -> None:
+    global _WORKER_CTX
+    _WORKER_CTX = ctx
+
+
+def _worker_eval(task):
+    """Evaluate a span of pair chunks; return int64 partial force codes.
+
+    Chunks are fixed-size slices of the shared pair arrays, so the
+    partition of chunks over workers affects neither the integer force
+    sums (addition commutes) nor the per-chunk energies returned for
+    the parent's fixed-order reduction.
+    """
+    lo_chunk, hi_chunk, n_pairs, n_atoms = task
+    ctx = _WORKER_CTX
+    i, j, dx, r2 = ctx.pair_views(n_pairs)
+    acc = np.zeros((n_atoms, 3), dtype=np.int64)
+    e_lj, e_coul = [], []
+    for c in range(lo_chunk, hi_chunk):
+        lo = c * _PAIR_CHUNK
+        hi = min(lo + _PAIR_CHUNK, n_pairs)
+        nb = ctx.kernel(
+            NeighborPairs(i=i[lo:hi], j=j[lo:hi], dx=dx[lo:hi], r2=r2[lo:hi])
+        )
+        codes = ctx.codec.quantize_round_only(nb.force)
+        with np.errstate(over="ignore"):
+            np.add.at(acc, nb.i, codes)
+            np.add.at(acc, nb.j, -codes)
+        e_lj.append(nb.energy_lj)
+        e_coul.append(nb.energy_coul)
+    return lo_chunk, e_lj, e_coul, acc
+
+
+class _PoolContext:
+    """Static kernel inputs plus shared pair buffers, inherited by fork.
+
+    Created in the parent *before* the pool starts: the fork start
+    method hands every worker the same object — including the numpy
+    views over anonymous shared memory — without pickling.  The parent
+    rewrites the buffers between ``map`` calls; workers only read them
+    while a ``map`` is in flight.
+    """
+
+    def __init__(self, system, params, tables, sigma, codec, capacity: int):
+        from multiprocessing.sharedctypes import RawArray
+
+        self.charges = system.charges
+        self.type_ids = system.type_ids
+        self.lj = system.lj
+        self.tables = tables
+        self.sigma = sigma
+        self.lj_mode = params.lj_mode
+        self.cutoff = params.cutoff
+        self.codec = codec
+        self.capacity = capacity
+        self._i = np.frombuffer(RawArray("b", 8 * capacity), dtype=np.int64)
+        self._j = np.frombuffer(RawArray("b", 8 * capacity), dtype=np.int64)
+        self._dx = np.frombuffer(RawArray("b", 24 * capacity), dtype=np.float64).reshape(
+            capacity, 3
+        )
+        self._r2 = np.frombuffer(RawArray("b", 8 * capacity), dtype=np.float64)
+
+    def write_pairs(self, pairs: NeighborPairs) -> None:
+        n = len(pairs.i)
+        self._i[:n] = pairs.i
+        self._j[:n] = pairs.j
+        self._dx[:n] = pairs.dx
+        self._r2[:n] = pairs.r2
+
+    def pair_views(self, n: int):
+        return self._i[:n], self._j[:n], self._dx[:n], self._r2[:n]
+
+    def kernel(self, pairs: NeighborPairs) -> NonbondedResult:
+        # Exclusions were pre-applied by the neighbor list
+        # (assume_filtered), so the table is not needed here.
+        if self.tables is not None:
+            return nonbonded_real_space_tabulated(
+                pairs, self.charges, self.type_ids, self.lj, None, self.tables,
+                assume_filtered=True,
+            )
+        return nonbonded_real_space(
+            pairs, self.charges, self.type_ids, self.lj, None, self.sigma,
+            lj_mode=self.lj_mode, cutoff=self.cutoff, assume_filtered=True,
+        )
+
+
+class ProcessBackend(VectorizedBackend):
+    """Vectorized execution with multiprocess range-limited kernels.
+
+    The pair list is sharded into fixed-size chunks evaluated by a
+    persistent pool of forked workers; each worker quantizes its
+    chunks' forces and integer-accumulates them locally, and the parent
+    merges the partial int64 code arrays by plain addition.  Because
+    the codes are quantized *before* any summation, the result is
+    bit-for-bit the serial answer — the paper's order-invariance
+    argument is what makes real parallelism safe here.
+
+    Per-chunk energies are reduced in chunk order, so reported energies
+    do not depend on the worker count (they differ from the one-pass
+    serial float sums only by summation rounding).
+    """
+
+    name = "process"
+
+    def __init__(self, n_workers: int | None = None):
+        self.n_workers = int(n_workers) if n_workers else (os.cpu_count() or 1)
+        self._pool = None
+        self._ctx = None
+        self._finalizer = None
+
+    def close(self) -> None:
+        if self._pool is not None:
+            if self._finalizer is not None:
+                self._finalizer.detach()
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+            self._ctx = None
+
+    def _ensure_pool(self, calc, force_codec, n_pairs: int) -> None:
+        import multiprocessing
+
+        if (
+            self._pool is not None
+            and self._ctx.capacity >= n_pairs
+            and self._ctx.codec is force_codec
+        ):
+            return
+        self.close()
+        mp = multiprocessing.get_context("fork")
+        self._ctx = _PoolContext(
+            calc.system,
+            calc.params,
+            calc.tables,
+            calc.sigma,
+            force_codec,
+            capacity=max(int(n_pairs * 1.5), 1024),
+        )
+        self._pool = mp.Pool(
+            processes=self.n_workers, initializer=_worker_init, initargs=(self._ctx,)
+        )
+        self._finalizer = weakref.finalize(self, self._pool.terminate)
+
+    def range_limited(self, calc, positions, force_codec, acc):
+        m = calc.machine
+        n_atoms = calc.system.n_atoms
+        with calc.timers.time("pair_list"):
+            pairs = calc.neighbor_list.pairs(positions)
+        n_pairs = len(pairs.i)
+        with calc.timers.time("range_limited"):
+            self._ensure_pool(calc, force_codec, n_pairs)
+            e_lj, e_coul, partial = self._evaluate(pairs, n_atoms)
+        with calc.timers.time("machine_deposit"):
+            with np.errstate(over="ignore"):
+                acc.raw()[...] += partial
+        nb = NonbondedResult(
+            energy_lj=e_lj, energy_coul=e_coul, i=pairs.i, j=pairs.j, force=None
+        )
+        with calc.timers.time("machine_nt_assign"):
+            assign = self._assign_pairs(m, positions, pairs.i, pairs.j)
+        return nb, assign
+
+    def _evaluate(self, pairs: NeighborPairs, n_atoms: int):
+        n_pairs = len(pairs.i)
+        partial = np.zeros((n_atoms, 3), dtype=np.int64)
+        if n_pairs == 0:
+            return 0.0, 0.0, partial
+        self._ctx.write_pairs(pairs)
+        n_chunks = -(-n_pairs // _PAIR_CHUNK)
+        w = max(min(self.n_workers, n_chunks), 1)
+        bounds = np.linspace(0, n_chunks, w + 1).astype(np.int64)
+        tasks = [
+            (int(bounds[k]), int(bounds[k + 1]), n_pairs, n_atoms)
+            for k in range(w)
+            if bounds[k] < bounds[k + 1]
+        ]
+        e_lj = np.zeros(n_chunks)
+        e_coul = np.zeros(n_chunks)
+        for lo_chunk, chunk_lj, chunk_coul, acc in self._pool.map(_worker_eval, tasks):
+            e_lj[lo_chunk : lo_chunk + len(chunk_lj)] = chunk_lj
+            e_coul[lo_chunk : lo_chunk + len(chunk_coul)] = chunk_coul
+            with np.errstate(over="ignore"):
+                partial += acc
+        return float(np.sum(e_lj)), float(np.sum(e_coul)), partial
+
+
+_BACKENDS = {
+    "serial": SerialBackend,
+    "vectorized": VectorizedBackend,
+    "process": ProcessBackend,
+}
+
+
+def make_backend(backend) -> MachineBackend:
+    """Resolve a backend name (or pass through an instance)."""
+    if isinstance(backend, MachineBackend):
+        return backend
+    try:
+        return _BACKENDS[backend]()
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {backend!r}; expected one of {sorted(_BACKENDS)}"
+        ) from None

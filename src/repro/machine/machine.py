@@ -13,6 +13,13 @@ invariance*: "a given simulation will evolve in exactly the same way
 on any single- or multi-node Anton configuration" (Section 4).  The
 integration tests run the same system on 1, 8, and 64 simulated nodes
 and compare trajectories bit-for-bit.
+
+The same invariance also frees the *simulator* to choose how it
+executes each phase: :mod:`repro.machine.backends` provides per-node
+loops (``serial``), array kernels (``vectorized``, the default), and a
+multiprocess pool (``process``), all producing identical state codes.
+Engine phases are charged to ``machine_*`` timers
+(:meth:`AntonMachine.phase_timings`, :meth:`AntonMachine.engine_seconds`).
 """
 
 from __future__ import annotations
@@ -27,6 +34,7 @@ from repro.core.integrator import FixedPointConfig, FixedPointIntegrator
 from repro.core.system import ChemicalSystem
 from repro.fft import DistributedFFT3D
 from repro.fixedpoint import FixedAccumulator
+from repro.machine.backends import MachineBackend, make_backend
 from repro.machine.config import ANTON_2008, AntonHardware
 from repro.machine.flexible import assign_bond_terms, correction_pairs_per_node
 from repro.parallel import (
@@ -34,11 +42,15 @@ from repro.parallel import (
     SimNetwork,
     SpatialDecomposition,
     TorusTopology,
-    nt_assign_pairs,
-    tower_plate_boxes,
 )
 
 __all__ = ["MachineForceCalculator", "AntonMachine"]
+
+#: Timers that measure the machine bookkeeping itself (NT assignment,
+#: force deposits, traffic accounting) as opposed to the shared physics
+#: kernels every backend runs identically.  Their sum is the "engine
+#: time" the scaling benchmark gates on.
+ENGINE_TIMERS = ("machine_nt_assign", "machine_deposit", "machine_traffic")
 
 
 class MachineForceCalculator(ForceCalculator):
@@ -46,40 +58,35 @@ class MachineForceCalculator(ForceCalculator):
 
     Produces bit-identical force codes to the base class (integer sums
     commute) while exercising the machine's work partitioning and
-    charging communication to the simulated network.
+    charging communication to the simulated network.  *How* each phase
+    executes is delegated to a :class:`~repro.machine.backends.MachineBackend`.
     """
 
-    def __init__(self, system: ChemicalSystem, params: MDParams, machine: "AntonMachine"):
+    def __init__(
+        self,
+        system: ChemicalSystem,
+        params: MDParams,
+        machine: "AntonMachine",
+        backend: MachineBackend,
+    ):
         if params.quantize_mesh_bits is None:
             raise ValueError("machine execution requires quantize_mesh_bits")
         super().__init__(system, params)
         self.machine = machine
-
-    # -- helpers -----------------------------------------------------------
-
-    def _deposit_by_node(self, acc: FixedAccumulator, node: np.ndarray, i, j, codes) -> None:
-        """Deposit pair contributions node by node (ascending id)."""
-        order = np.argsort(node, kind="stable")
-        boundaries = np.searchsorted(node[order], np.arange(self.machine.topology.n_nodes + 1))
-        for n in range(self.machine.topology.n_nodes):
-            sel = order[boundaries[n] : boundaries[n + 1]]
-            if len(sel):
-                acc.deposit(i[sel], codes[sel])
-                acc.deposit(j[sel], -codes[sel])
+        self.backend = backend
+        backend.bind(self)
 
     # -- overridden force paths ---------------------------------------------
 
     def compute_fixed(self, positions, force_codec, include_long_range: bool = True):
         s = self.system
         m = self.machine
+        before = self.timers.snapshot()
         acc = FixedAccumulator((s.n_atoms, 3), force_codec.fmt)
         energies: dict[str, float] = {}
 
         # Range-limited pairs: computed on their NT nodes.
-        nb = self._range_limited(positions)
-        assign = nt_assign_pairs(m.decomp, positions, nb.i, nb.j)
-        codes = force_codec.quantize_round_only(nb.force)
-        self._deposit_by_node(acc, assign.node, nb.i, nb.j, codes)
+        nb, assign = self.backend.range_limited(self, positions, force_codec, acc)
         m.account_force_export(assign.node, nb.i, nb.j)
         m.last_pair_assignment = assign
         energies["lj"] = nb.energy_lj
@@ -87,19 +94,8 @@ class MachineForceCalculator(ForceCalculator):
 
         # Bond terms on their statically assigned geometry cores.
         bonded = self._bonded(positions)
-        kinds = ("bond", "angle", "dihedral")
-        cursor = {k: 0 for k in kinds}
-        term_nodes = m.bond_assignment.term_node
-        offset = 0
-        for kind, contrib in zip(kinds, bonded):
-            if contrib.n_terms:
-                t_nodes = term_nodes[offset : offset + contrib.n_terms]
-                c = force_codec.quantize_round_only(contrib.force)
-                for n in np.unique(t_nodes):
-                    sel = t_nodes == n
-                    acc.deposit(contrib.idx[sel].ravel(), c[sel].reshape(-1, 3))
-            offset += contrib.n_terms
-            cursor[kind] = offset
+        with self.timers.time("machine_deposit"):
+            self.backend.deposit_bonded(self, acc, bonded, force_codec)
         energies["bond"] = bonded[0].energy
         energies["angle"] = bonded[1].energy
         energies["dihedral"] = bonded[2].energy
@@ -111,45 +107,28 @@ class MachineForceCalculator(ForceCalculator):
 
         total = self._spread_vsite_codes(acc.total())
         report = ForceReport(
-            forces=force_codec.reconstruct(total), energies=energies, n_pairs=nb.n_pairs
+            forces=force_codec.reconstruct(total),
+            energies=energies,
+            n_pairs=nb.n_pairs,
+            timings=self.timers.delta_since(before),
         )
         return total, report
 
     def compute_long_fixed(self, positions, force_codec):
         s = self.system
-        m = self.machine
         acc = FixedAccumulator((s.n_atoms, 3), force_codec.fmt)
 
         # Correction pairs on their owners' correction pipelines.
         corr = self._corrections(positions)
         if corr.n_pairs:
             ccodes = force_codec.quantize_round_only(corr.force)
-            corr_nodes = m.owners[corr.i]
-            self._deposit_by_node(acc, corr_nodes, corr.i, corr.j, ccodes)
+            with self.timers.time("machine_deposit"):
+                self.backend.deposit_corrections(self, acc, corr, ccodes)
 
         e_k = 0.0
         if self.gse is not None:
-            # Charge spreading: each node spreads the atoms it owns into
-            # a shared fixed-point mesh (order-invariant by construction).
-            mesh_acc = np.zeros(self.gse.mesh_point_count(), dtype=np.int64)
-            for n in range(m.topology.n_nodes):
-                mine = m.owners == n
-                if np.any(mine):
-                    self.gse.spread_contributions(
-                        positions[mine], s.charges[mine], mesh_acc, self.mesh_codec
-                    )
-            Q = self.mesh_codec.reconstruct(self.mesh_codec.wrap(mesh_acc)).reshape(
-                tuple(self.gse.mesh)
-            )
-            m.account_fft()
-            phi, e_k = self.gse.solve(Q)
-
-            # Force interpolation, per owning node.
-            for n in range(m.topology.n_nodes):
-                mine = np.nonzero(m.owners == n)[0]
-                if len(mine):
-                    f_k = self.gse.interpolate_forces(positions[mine], s.charges[mine], phi)
-                    acc.deposit(mine, force_codec.quantize_round_only(f_k))
+            with self.timers.time("machine_mesh"):
+                e_k = self.backend.mesh_long_range(self, positions, acc, force_codec)
 
         energies = {
             "correction": corr.energy_exclusion + corr.energy_14_coul,
@@ -172,6 +151,10 @@ class AntonMachine:
         Subboxes per home box per axis for NT match efficiency.
     migration_interval:
         Steps between migration passes (paper: 4-8).
+    backend:
+        Execution strategy: ``"serial"``, ``"vectorized"`` (default),
+        ``"process"``, or a :class:`~repro.machine.backends.MachineBackend`
+        instance.  State codes are bitwise identical across all of them.
     """
 
     def __init__(
@@ -187,6 +170,7 @@ class AntonMachine:
         thermostat=None,
         constraints: bool = True,
         hw: AntonHardware = ANTON_2008,
+        backend="vectorized",
     ):
         if params.quantize_mesh_bits is None:
             params = replace(params, quantize_mesh_bits=40)
@@ -207,7 +191,8 @@ class AntonMachine:
         self.dfft = None
         if all(mm % d == 0 for mm, d in zip(params.mesh, self.topology.dims)):
             self.dfft = DistributedFFT3D(params.mesh, self.topology, self.network)
-        self.calc = MachineForceCalculator(system, params, self)
+        self.backend = make_backend(backend)
+        self.calc = MachineForceCalculator(system, params, self, self.backend)
         self.provider = MTSForceProvider(self.calc, force_codec=fixed_config.force_codec())
         solver = None
         if constraints and system.topology.n_constraints:
@@ -222,66 +207,45 @@ class AntonMachine:
             thermostat=thermostat,
         )
 
+    def close(self) -> None:
+        """Release backend resources (worker pools).  Idempotent."""
+        self.backend.close()
+
     # -- traffic accounting -------------------------------------------------
+
+    def _node_occupancy(self) -> np.ndarray:
+        """Atoms per home box at the current positions (by box id)."""
+        coords = self.decomp.box_coord(self.integrator.positions)
+        dims = self.decomp.dims
+        flat = (coords[:, 0] * dims[1] + coords[:, 1]) * dims[2] + coords[:, 2]
+        return np.bincount(flat, minlength=self.topology.n_nodes)
 
     def account_position_import(self) -> None:
         """Charge the NT position import: whole remote boxes of each
-        node's tower and plate, one multicast message per remote box."""
-        positions = self.integrator.positions
-        coords = self.decomp.box_coord(positions)
-        dims = self.decomp.dims
-        flat = (coords[:, 0] * dims[1] + coords[:, 1]) * dims[2] + coords[:, 2]
-        counts = np.bincount(flat, minlength=self.topology.n_nodes)
-        margin = self.migration.import_margin()
-        reach = self.params.cutoff + margin
-        for node in range(self.topology.n_nodes):
-            tower, plate = tower_plate_boxes(self.decomp, self.topology.coord(node), reach)
-            for bx in tower | plate:
-                src = self.topology.node_id(bx)
-                if src == node or counts[src] == 0:
-                    continue
-                self.network.send(
-                    src,
-                    node,
-                    int(counts[src]) * self.hw.bytes_per_position,
-                    tag="position_import",
+        node's tower and plate, one multicast message per remote box,
+        plus bond-destination position sends."""
+        with self.calc.timers.time("machine_traffic"):
+            self.backend.account_position_import(self)
+            # Bond destinations: atoms' positions sent to remote term
+            # nodes.  Charged as aggregate volume (sources and
+            # destinations are adjacent by construction).
+            n_msgs = self.bond_assignment.destination_messages(self.owners)
+            if n_msgs:
+                stats = self.network.stats
+                stats.messages += n_msgs
+                stats.bytes += n_msgs * self.hw.bytes_per_position
+                stats.charge_tag(
+                    "bond_destinations", n_msgs, n_msgs * self.hw.bytes_per_position
                 )
-        # Bond destinations: atoms' positions sent to remote term nodes.
-        n_msgs = self.bond_assignment.destination_messages(self.owners)
-        # Charged as aggregate volume (sources and destinations are
-        # adjacent nodes by construction of the assignment).
-        if n_msgs:
-            self.network.stats.messages += n_msgs
-            self.network.stats.bytes += n_msgs * self.hw.bytes_per_position
-            m, b = self.network.stats.by_tag.get("bond_destinations", (0, 0))
-            self.network.stats.by_tag["bond_destinations"] = (
-                m + n_msgs,
-                b + n_msgs * self.hw.bytes_per_position,
-            )
 
     def account_force_export(self, pair_nodes: np.ndarray, i: np.ndarray, j: np.ndarray) -> None:
-        """Charge force returns from computing nodes to atom owners."""
-        for atoms in (i, j):
-            owner = self.owners[atoms]
-            remote = pair_nodes != owner
-            if not np.any(remote):
-                continue
-            # One message per (computing node, owner) pair per step,
-            # carrying that route's summed contributions.
-            routes = np.unique(
-                pair_nodes[remote] * np.int64(self.topology.n_nodes) + owner[remote]
-            )
-            n_atoms_exported = len(np.unique(atoms[remote] * np.int64(self.topology.n_nodes**2) + pair_nodes[remote]))
-            for r in routes:
-                self.network.send(
-                    int(r) // self.topology.n_nodes,
-                    int(r) % self.topology.n_nodes,
-                    max(
-                        n_atoms_exported * self.hw.bytes_per_force // max(len(routes), 1),
-                        self.hw.min_message_bytes,
-                    ),
-                    tag="force_export",
-                )
+        """Charge force returns from computing nodes to atom owners.
+
+        One message per (computing node, owner) route per step, sized by
+        the exact count of exported per-atom force sums on that route.
+        """
+        with self.calc.timers.time("machine_traffic"):
+            self.backend.account_force_export(self, pair_nodes, i, j)
 
     def account_fft(self) -> None:
         """Charge forward + inverse FFT redistributions."""
@@ -292,10 +256,9 @@ class AntonMachine:
                 self.dfft._charge_axis_phase(axis)
 
     def account_migration(self, n_migrated: int) -> None:
-        m, b = self.network.stats.by_tag.get("migration", (0, 0))
-        self.network.stats.by_tag["migration"] = (m + n_migrated, b + n_migrated * 64)
         self.network.stats.messages += n_migrated
         self.network.stats.bytes += n_migrated * 64
+        self.network.stats.charge_tag("migration", n_migrated, n_migrated * 64)
 
     # -- running ------------------------------------------------------------
 
@@ -323,6 +286,49 @@ class AntonMachine:
             if self.integrator.step_count % self.bond_reassign_interval == 0:
                 self.reassign_bond_terms()
 
+    # -- checkpointing -------------------------------------------------------
+
+    def checkpoint(self) -> dict:
+        """Snapshot of the exact machine state (integer codes).
+
+        Everything that influences future bits or traffic: integrator
+        state codes and step count, the MTS call counter, atom
+        ownership, and the migration clock.
+        """
+        X, V = self.integrator.state_codes()
+        return {
+            "X": X,
+            "V": V,
+            "step_count": self.integrator.step_count,
+            "provider_calls": self.provider.calls,
+            "owners": self.owners.copy(),
+            "steps_since_migration": self.migration.steps_since_migration,
+            "migration_step": self.migration._step,
+        }
+
+    def restore(self, chk: dict) -> None:
+        """Resume bit-exactly from a :meth:`checkpoint` snapshot.
+
+        Works across machines and backends: state codes are integer,
+        ownership-derived placement affects only traffic, and replaying
+        the force evaluation with the rewound MTS counter reproduces
+        the same long-range schedule decision — so the continued
+        trajectory is bitwise the uninterrupted one.
+        """
+        integ = self.integrator
+        integ.X = chk["X"].copy()
+        integ.V = chk["V"].copy()
+        integ.step_count = int(chk["step_count"])
+        self.owners = chk["owners"].copy()
+        self.migration.owners = self.owners
+        self.migration.steps_since_migration = int(chk["steps_since_migration"])
+        self.migration._step = int(chk["migration_step"])
+        self.reassign_bond_terms()
+        self.provider.calls = int(chk["provider_calls"]) - 1
+        integ._force_codes, integ.last_info = self.provider(integ.positions)
+
+    # -- observability -------------------------------------------------------
+
     @property
     def positions(self) -> np.ndarray:
         return self.integrator.positions
@@ -337,3 +343,20 @@ class AntonMachine:
     def messages_per_node_per_step(self) -> float:
         steps = max(self.integrator.step_count, 1)
         return self.network.stats.messages / (steps * self.topology.n_nodes)
+
+    def phase_timings(self) -> dict[str, float]:
+        """Cumulative seconds per ``machine_*`` engine phase."""
+        return {
+            k: v for k, v in self.calc.timers.elapsed.items() if k.startswith("machine_")
+        }
+
+    def engine_seconds(self) -> float:
+        """Cumulative machine-bookkeeping time (the backend-sensitive part).
+
+        Sums NT assignment, force deposits, and traffic accounting —
+        the phases whose cost depends on the execution backend — and
+        excludes the physics kernels (pair forces, FFT, bonded) that
+        every backend runs identically.
+        """
+        e = self.calc.timers.elapsed
+        return sum(e.get(k, 0.0) for k in ENGINE_TIMERS)

@@ -10,6 +10,7 @@ from repro.parallel.nt import (
     NTAssignment,
     match_efficiency,
     nt_assign_pairs,
+    nt_node_tables,
     tower_plate_boxes,
 )
 from repro.parallel.topology import TorusTopology
@@ -25,6 +26,7 @@ __all__ = [
     "NTAssignment",
     "match_efficiency",
     "nt_assign_pairs",
+    "nt_node_tables",
     "tower_plate_boxes",
     "TorusTopology",
 ]

@@ -24,7 +24,13 @@ import numpy as np
 
 from repro.parallel.decomposition import SpatialDecomposition
 
-__all__ = ["NTAssignment", "nt_assign_pairs", "tower_plate_boxes", "match_efficiency"]
+__all__ = [
+    "NTAssignment",
+    "nt_assign_pairs",
+    "nt_node_tables",
+    "tower_plate_boxes",
+    "match_efficiency",
+]
 
 
 def _wrapped_delta(a: np.ndarray, b: np.ndarray, D: int) -> tuple[np.ndarray, np.ndarray]:
@@ -50,6 +56,7 @@ def nt_assign_pairs(
     positions: np.ndarray,
     i: np.ndarray,
     j: np.ndarray,
+    atom_box_coords: np.ndarray | None = None,
 ) -> NTAssignment:
     """Assign each pair (i[k], j[k]) to its NT computing node.
 
@@ -60,10 +67,20 @@ def nt_assign_pairs(
     a column (dx = dy = 0) on the lower atom's box.  Degenerate torus
     wraps (|d| exactly half the torus) are tie-broken by raw
     coordinates so each pair is claimed exactly once.
+
+    ``atom_box_coords`` optionally supplies ``decomp.box_coord`` of the
+    *whole* position array, letting callers with many pair lists (or
+    long ones) pay the wrap-and-floor once per configuration instead of
+    twice per pair; ``box_coord`` is elementwise per atom, so gathering
+    rows of the precomputed array is identical to recomputing them.
     """
     dims = decomp.dims
-    ca = decomp.box_coord(positions[i])
-    cb = decomp.box_coord(positions[j])
+    if atom_box_coords is None:
+        ca = decomp.box_coord(positions[i])
+        cb = decomp.box_coord(positions[j])
+    else:
+        ca = atom_box_coords[i]
+        cb = atom_box_coords[j]
     dx, tx = _wrapped_delta(ca[:, 0], cb[:, 0], int(dims[0]))
     dy, ty = _wrapped_delta(ca[:, 1], cb[:, 1], int(dims[1]))
     dz, tz = _wrapped_delta(ca[:, 2], cb[:, 2], int(dims[2]))
@@ -90,6 +107,32 @@ def nt_assign_pairs(
     node_a = (ca[:, 0] * dims[1] + ca[:, 1]) * dims[2] + ca[:, 2]
     node_b = (cb[:, 0] * dims[1] + cb[:, 1]) * dims[2] + cb[:, 2]
     return NTAssignment(node=node, neutral=(node != node_a) & (node != node_b))
+
+
+def nt_node_tables(decomp: SpatialDecomposition) -> tuple[np.ndarray, np.ndarray]:
+    """Dense (n_boxes, n_boxes) lookup tables of the NT assignment.
+
+    The computing node (and its neutrality) is a pure function of the
+    two atoms' home-box ids, so the whole rule can be tabulated once
+    per decomposition — built by running :func:`nt_assign_pairs` itself
+    over every ordered box pair, which makes the tables identical to
+    the direct computation by construction.  A per-pair assignment then
+    reduces to one gather: ``node_table.ravel()[flat_a * n + flat_b]``.
+
+    Returns ``(node_table, neutral_table)``; int64 node ids and bool
+    neutrality flags.
+    """
+    dims = decomp.dims
+    n = int(dims[0] * dims[1] * dims[2])
+    ids = np.arange(n, dtype=np.int64)
+    coords = np.stack(
+        (ids // (dims[1] * dims[2]), (ids // dims[2]) % dims[1], ids % dims[2]),
+        axis=-1,
+    )
+    a = np.repeat(ids, n)
+    b = np.tile(ids, n)
+    assign = nt_assign_pairs(decomp, None, a, b, atom_box_coords=coords)
+    return assign.node.reshape(n, n), assign.neutral.reshape(n, n)
 
 
 def tower_plate_boxes(

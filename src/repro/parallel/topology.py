@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
 
 __all__ = ["TorusTopology"]
 
@@ -77,6 +78,18 @@ class TorusTopology:
             if nid != node and nid not in out:
                 out.append(nid)
         return out
+
+    def coords_of(self, nodes: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`coord`: (x, y, z) rows for an id array."""
+        nodes = np.asarray(nodes, dtype=np.int64)
+        dy, dz = self.dims[1], self.dims[2]
+        return np.stack((nodes // (dy * dz), (nodes // dz) % dy, nodes % dz), axis=-1)
+
+    def hop_distances(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`hop_distance` over two node-id arrays."""
+        diff = np.abs(self.coords_of(a) - self.coords_of(b))
+        dims = np.asarray(self.dims, dtype=np.int64)
+        return np.sum(np.minimum(diff, dims - diff), axis=-1)
 
     def hop_distance(self, a: int, b: int) -> int:
         """Minimum torus hop count between two nodes."""

@@ -60,6 +60,15 @@ class Timers:
                 out[name] = d
         return out
 
+    def total(self, prefix: str = "") -> float:
+        """Cumulative seconds across all timers named with ``prefix``.
+
+        The machine backends charge their engine phases to
+        ``machine_*`` timers, so ``total("machine_")`` is the per-run
+        cost of the simulated-machine bookkeeping itself.
+        """
+        return sum(v for k, v in self.elapsed.items() if k.startswith(prefix))
+
     def reset(self) -> None:
         self.elapsed.clear()
         self.counts.clear()

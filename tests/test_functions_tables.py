@@ -124,3 +124,27 @@ class TestKernelTableSet:
         ts.add("a", lambda r2: r2)
         val = ts.evaluate("a", 81.0)
         assert np.isfinite(val)
+
+
+class TestSharedIndexEvaluation:
+    def test_locate_evaluate_at_matches_evaluate(self):
+        table = TieredTable.build(lambda u: np.exp(-3 * u), tiers=uniform_tiers(16))
+        u = np.random.default_rng(3).uniform(0.0, 1.0, 500)
+        idx, t = table.locate(u)
+        np.testing.assert_array_equal(table.evaluate_at(idx, t), table.evaluate(u))
+
+    def test_segmentation_key_distinguishes_layouts(self):
+        a = TieredTable.build(np.cos, tiers=uniform_tiers(8))
+        b = TieredTable.build(np.sin, tiers=uniform_tiers(8))
+        c = TieredTable.build(np.cos, tiers=uniform_tiers(16))
+        assert a.segmentation_key() == b.segmentation_key()
+        assert a.segmentation_key() != c.segmentation_key()
+
+    def test_shared_evaluator_bitwise(self):
+        ts = KernelTableSet(cutoff=9.0, r_floor=1.0)
+        ts.add("inv", lambda r2: 1.0 / r2)
+        ts.add("inv2", lambda r2: 1.0 / r2**2, tiers=uniform_tiers(32))
+        r2 = np.random.default_rng(4).uniform(1.1, 80.9, 300)
+        ev = ts.shared_evaluator(ts.normalize(r2))
+        for name in ("inv", "inv2"):
+            np.testing.assert_array_equal(ev(name), ts.evaluate(name, r2))

@@ -12,6 +12,7 @@ from repro.parallel import (
     half_shell_boxes,
     match_efficiency,
     nt_assign_pairs,
+    nt_node_tables,
     tower_plate_boxes,
 )
 
@@ -171,3 +172,33 @@ class TestMatchEfficiency:
         # Paper: 25% for 8 A boxes, one subbox, 13 A cutoff.
         e = match_efficiency(8.0, 13.0, 1, n_samples=8)
         assert 0.20 < e < 0.35
+
+
+class TestNTVectorizedPaths:
+    def _random_pairs(self, decomp, n_atoms=200, n_pairs=600, seed=2):
+        rng = np.random.default_rng(seed)
+        pos = rng.uniform(0.0, decomp.box.lengths[0], (n_atoms, 3))
+        i = rng.integers(0, n_atoms, n_pairs)
+        j = rng.integers(0, n_atoms, n_pairs)
+        keep = i != j
+        return pos, i[keep], j[keep]
+
+    @pytest.mark.parametrize("dims", [(2, 2, 2), (4, 4, 4), (4, 2, 1)])
+    def test_atom_box_coords_identical(self, dims):
+        d = make_decomp(dims=dims)
+        pos, i, j = self._random_pairs(d)
+        direct = nt_assign_pairs(d, pos, i, j)
+        cached = nt_assign_pairs(d, pos, i, j, atom_box_coords=d.box_coord(pos))
+        np.testing.assert_array_equal(direct.node, cached.node)
+        np.testing.assert_array_equal(direct.neutral, cached.neutral)
+
+    @pytest.mark.parametrize("dims", [(2, 2, 2), (4, 4, 4), (4, 2, 1), (8, 4, 2)])
+    def test_node_tables_match_direct(self, dims):
+        d = make_decomp(dims=dims)
+        node_tab, neutral_tab = nt_node_tables(d)
+        pos, i, j = self._random_pairs(d, seed=7)
+        direct = nt_assign_pairs(d, pos, i, j)
+        flat = d.node_of(pos)
+        key = flat[i] * node_tab.shape[0] + flat[j]
+        np.testing.assert_array_equal(node_tab.ravel()[key], direct.node)
+        np.testing.assert_array_equal(neutral_tab.ravel()[key], direct.neutral)

@@ -1,5 +1,6 @@
 """Unit tests for the torus topology and simulated network."""
 
+import numpy as np
 import pytest
 
 from repro.parallel.comm import SimNetwork
@@ -110,3 +111,42 @@ class TestSimNetwork:
         net.send(0, 1, 4, tag="t")
         net.reset_stats()
         assert net.stats.messages == 0
+
+
+class TestVectorizedTopologyOps:
+    def test_coords_of_matches_coord(self):
+        topo = TorusTopology((4, 2, 8))
+        nodes = np.arange(topo.n_nodes)
+        rows = topo.coords_of(nodes)
+        for n in nodes:
+            assert tuple(rows[n]) == topo.coord(int(n))
+
+    def test_hop_distances_matches_hop_distance(self):
+        topo = TorusTopology((4, 2, 8))
+        rng = np.random.default_rng(9)
+        a = rng.integers(0, topo.n_nodes, 100)
+        b = rng.integers(0, topo.n_nodes, 100)
+        vec = topo.hop_distances(a, b)
+        for k in range(len(a)):
+            assert vec[k] == topo.hop_distance(int(a[k]), int(b[k]))
+
+    def test_send_batch_matches_send_loop(self):
+        topo = TorusTopology.cubic(4)
+        loop, batch = SimNetwork(topo), SimNetwork(topo)
+        rng = np.random.default_rng(5)
+        src = rng.integers(0, topo.n_nodes, 200)
+        dst = rng.integers(0, topo.n_nodes, 200)
+        nbytes = rng.integers(1, 500, 200)
+        for s, d, b in zip(src, dst, nbytes):
+            loop.send(int(s), int(d), int(b), tag="t")
+        batch.send_batch(src, dst, nbytes, tag="t")
+        assert batch.stats.messages == loop.stats.messages
+        assert batch.stats.bytes == loop.stats.bytes
+        assert batch.stats.hop_bytes == loop.stats.hop_bytes
+        assert batch.stats.by_tag == loop.stats.by_tag
+        np.testing.assert_array_equal(
+            batch.stats.per_node_messages, loop.stats.per_node_messages
+        )
+        np.testing.assert_array_equal(
+            batch.stats.per_node_bytes, loop.stats.per_node_bytes
+        )
