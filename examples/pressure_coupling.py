@@ -10,8 +10,6 @@ relax it toward 1 bar.
 Run:  python examples/pressure_coupling.py
 """
 
-import numpy as np
-
 from repro import ChemicalSystem, ForceCalculator, MDParams, build_water_box, minimize_energy
 from repro.core import (
     BerendsenBarostat,

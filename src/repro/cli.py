@@ -47,6 +47,8 @@ def _add_machine(sub) -> None:
                         "identical across all of them)")
     p.add_argument("--timings", action="store_true",
                    help="print per-phase machine engine timings after the run")
+    p.add_argument("--profile", action="store_true",
+                   help="print the hierarchical per-step phase profile as JSON")
 
 
 def _add_perf(sub) -> None:
@@ -127,6 +129,10 @@ def cmd_machine(args) -> int:
         print(f"engine time: {machine.engine_seconds() * 1e3:.1f} ms")
         for name, secs in sorted(machine.phase_timings().items(), key=lambda kv: -kv[1]):
             print(f"  {name:<20} {secs * 1e3:10.2f} ms")
+    if args.profile:
+        import json
+
+        print(json.dumps(machine.profile(), indent=2))
     ok = True
     if args.check_invariance:
         ref = AntonMachine(base.copy(), params, n_nodes=1, dt=1.0, backend=args.backend)

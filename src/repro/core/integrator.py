@@ -111,6 +111,13 @@ class FixedPointIntegrator:
     thermostat:
         Optional callable ``thermostat(integrator) -> lambda`` applied
         to velocities at the end of each step.
+    timers:
+        Optional :class:`~repro.perf.Timers`; when given, each step is
+        recorded as a ``step`` phase with ``kick``/``drift``/``force``/
+        ``thermostat`` children (and ``constraints`` nested where the
+        solver runs), feeding the hierarchical profile.  Timing is
+        observational only — a fresh private registry is used when none
+        is supplied.
     """
 
     def __init__(
@@ -121,6 +128,7 @@ class FixedPointIntegrator:
         config: FixedPointConfig = FixedPointConfig(),
         constraints: ConstraintSolver | None = None,
         thermostat=None,
+        timers=None,
     ):
         self.system = system
         self.force_fn = force_fn
@@ -128,6 +136,13 @@ class FixedPointIntegrator:
         self.config = config
         self.constraints = constraints
         self.thermostat = thermostat
+        if timers is None:
+            # Deferred import: repro.perf pulls in the workload model,
+            # which imports repro.core.
+            from repro.perf import Timers
+
+            timers = Timers()
+        self.timers = timers
 
         self.pos_codec = PositionCodec(system.box, config.position_bits)
         self.vel_codec = config.velocity_codec()
@@ -172,9 +187,10 @@ class FixedPointIntegrator:
         with np.errstate(over="ignore"):
             self.V += dv
         if self.constraints is not None:
-            v = self.velocities
-            self.constraints.rattle(v, self.positions)
-            self.V = self.vel_codec.quantize(v)
+            with self.timers.time("constraints"):
+                v = self.velocities
+                self.constraints.rattle(v, self.positions)
+                self.V = self.vel_codec.quantize(v)
 
     def _drift_full(self) -> None:
         dx = round_nearest_even(self.V.astype(np.float64) * self._drift).astype(np.int64)
@@ -184,30 +200,40 @@ class FixedPointIntegrator:
         if needs_shake or has_vsites:
             pos = self.positions
             if needs_shake:
-                ref = self.pos_codec.decode(self._X_before_drift)
-                unshaken = pos.copy()
-                self.constraints.shake(pos, ref)
-                # Feed the constraint displacement back into the
-                # velocities (the RATTLE position-stage multipliers);
-                # omitting this silently drains energy every step.
-                v = self.velocities + self.system.box.minimum_image(pos - unshaken) / self.dt
-                self.V = self.vel_codec.quantize(v)
+                with self.timers.time("constraints"):
+                    ref = self.pos_codec.decode(self._X_before_drift)
+                    unshaken = pos.copy()
+                    self.constraints.shake(pos, ref)
+                    # Feed the constraint displacement back into the
+                    # velocities (the RATTLE position-stage multipliers);
+                    # omitting this silently drains energy every step.
+                    v = self.velocities + self.system.box.minimum_image(pos - unshaken) / self.dt
+                    self.V = self.vel_codec.quantize(v)
             if has_vsites:
                 self.system.place_virtual_sites(pos)
             self.X = self.pos_codec.encode(pos)
 
     def step(self, n: int = 1) -> None:
         """Advance n velocity-Verlet steps."""
+        t = self.timers
         for _ in range(n):
-            self._half_kick()
-            self._X_before_drift = self.X
-            self._drift_full()
-            self._force_codes, self.last_info = self.force_fn(self.positions)
-            self._half_kick()
-            if self.thermostat is not None:
-                lam = self.thermostat(self)
-                if lam != 1.0:
-                    self.V = round_nearest_even(self.V.astype(np.float64) * lam).astype(np.int64)
+            with t.time("step"):
+                with t.time("kick"):
+                    self._half_kick()
+                self._X_before_drift = self.X
+                with t.time("drift"):
+                    self._drift_full()
+                with t.time("force"):
+                    self._force_codes, self.last_info = self.force_fn(self.positions)
+                with t.time("kick"):
+                    self._half_kick()
+                if self.thermostat is not None:
+                    with t.time("thermostat"):
+                        lam = self.thermostat(self)
+                        if lam != 1.0:
+                            self.V = round_nearest_even(
+                                self.V.astype(np.float64) * lam
+                            ).astype(np.int64)
             self.step_count += 1
 
     def negate_velocities(self) -> None:

@@ -124,6 +124,7 @@ class Simulation:
                 config=fixed_config,
                 constraints=solver,
                 thermostat=thermostat,
+                timers=self.calc.timers,
             )
         elif mode == "float":
             self.provider = MTSForceProvider(self.calc)

@@ -8,7 +8,7 @@ from repro.ewald.correction import (
     correction_forces_static,
     precompute_correction_static,
 )
-from repro.ewald.gse import GaussianSplitEwald, GSEParams
+from repro.ewald.gse import GaussianSplitEwald, GSEParams, MeshStencilPlan
 from repro.ewald.reference import EwaldResult, direct_coulomb_images, direct_ewald
 from repro.ewald.spme import SmoothPME, SPMEParams, bspline
 from repro.ewald.kernels import (
@@ -29,6 +29,7 @@ __all__ = [
     "correction_forces_static",
     "precompute_correction_static",
     "GaussianSplitEwald",
+    "MeshStencilPlan",
     "GSEParams",
     "EwaldResult",
     "direct_coulomb_images",

@@ -12,6 +12,13 @@ charges are spread onto the mesh with a narrower Gaussian ``sigma_s``
 and forces interpolated back with the same ``sigma_s``, so the mesh
 convolution carries the remaining width ``sigma² - 2 sigma_s²`` (which
 must be positive).
+
+Charge spreading and force interpolation share one
+:class:`MeshStencilPlan` per evaluation: the separable axis weights
+and mesh indices are computed once and reused by both passes (they are
+identical by construction — the same radially symmetric kernel runs
+both on Anton's HTIS), instead of being rebuilt per pass and, on the
+serial machine backend, per owning node.
 """
 
 from __future__ import annotations
@@ -22,10 +29,26 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.ewald.kernels import choose_sigma
+from repro.fixedpoint.accumulate import scatter_add_int64
 from repro.geometry import Box
 from repro.util import COULOMB
 
-__all__ = ["GSEParams", "GaussianSplitEwald"]
+__all__ = ["GSEParams", "GaussianSplitEwald", "MeshStencilPlan"]
+
+#: Default cap on plan storage, in elements (atoms x stencil points).
+#: A plan stores ~12 bytes per element (float64 weight + int32 index),
+#: so 16M elements is ~190 MB; above the cap :meth:`~GaussianSplitEwald
+#: .make_plan` declines and callers fall back to chunked per-pass
+#: evaluation (same kernels, same bits).
+PLAN_MAX_ELEMENTS = 16_000_000
+
+#: Atom rows per pass while filling a plan (bounds the r² scratch).
+_PLAN_BUILD_CHUNK = 256
+
+#: Atom rows per pass in the spreading / interpolation kernels (bounds
+#: the per-chunk contribution buffers).  Chunking never changes bits:
+#: the quantize/einsum arithmetic is per-atom and the scatters commute.
+_KERNEL_CHUNK = 512
 
 
 @dataclass(frozen=True)
@@ -87,13 +110,267 @@ class GSEParams:
         )
 
 
+class MeshStencilPlan:
+    """Shared stencil weights/indices for one set of atom positions.
+
+    Built once per mesh evaluation and reused by charge spreading,
+    force interpolation, and potential interpolation.  Storage per atom
+    is the masked 4-D weight cube ``w`` (n, kx, ky, kz), the flattened
+    mesh indices ``flat`` (n, k) — int32 when the mesh fits, halving
+    gather/scatter index traffic — and the three per-axis displacement
+    rows ``axis_d`` used by the separable force contraction.  The full
+    ``(n, k, 3)`` displacement tensor of the old per-pass path is never
+    materialized.
+
+    Every kernel is strictly per-atom arithmetic followed by a
+    commutative reduction (integer scatter, float bincount in element
+    order, or an einsum/sum over each atom's own stencil row), so the
+    results are bitwise independent of how callers chunk or partition
+    the ``rows`` they pass — the machine's parallel-invariance
+    requirement.
+    """
+
+    __slots__ = ("gse", "n", "shape", "flat", "w", "axis_d", "_scratch")
+
+    def __init__(self, gse: "GaussianSplitEwald", n: int):
+        kx, ky, kz = (int(2 * c + 1) for c in gse._offsets)
+        self.gse = gse
+        self.n = int(n)
+        self.shape = (kx, ky, kz)
+        idx_t = np.int32 if gse.mesh_point_count() <= np.iinfo(np.int32).max else np.int64
+        self.flat = np.empty((self.n, kx * ky * kz), dtype=idx_t)
+        self.w = np.empty((self.n, kx, ky, kz))
+        self.axis_d = [np.empty((self.n, k)) for k in (kx, ky, kz)]
+        self._scratch: np.ndarray | None = None
+
+    def _buffer(self, chunk: int) -> np.ndarray:
+        """Reusable (chunk, k) contribution buffer.
+
+        Shared by the spreading and interpolation kernels (they never
+        run concurrently) and kept across steps when the plan storage
+        is reused, so the hot loops touch warm pages instead of
+        faulting fresh allocations every evaluation.
+        """
+        k = self.flat.shape[1]
+        if self._scratch is None or self._scratch.shape[0] < chunk:
+            self._scratch = np.empty((chunk, k))
+        return self._scratch
+
+    # -- construction ------------------------------------------------------
+
+    def build(self, positions: np.ndarray) -> "MeshStencilPlan":
+        """Fill the plan for ``positions`` (row i of every array is atom i)."""
+        g = self.gse
+        p = g.params
+        kx, ky, kz = self.shape
+        mesh = [int(m) for m in g.mesh]
+        inv_2ss2 = 1.0 / (2.0 * p.sigma_s**2)
+        norm = g._spread_norm
+        c2 = p.spreading_cutoff**2
+        positions = g.box.wrap(np.asarray(positions, dtype=np.float64))
+        offs = [np.arange(-c, c + 1) for c in g._offsets]
+        flat4 = self.flat.reshape(self.n, kx, ky, kz)
+        scratch = np.empty((min(_PLAN_BUILD_CHUNK, self.n), kx, ky, kz))
+        for lo in range(0, self.n, _PLAN_BUILD_CHUNK):
+            hi = min(lo + _PLAN_BUILD_CHUNK, self.n)
+            pos = positions[lo:hi]
+            base = np.floor(pos / g.h).astype(np.int64)  # nearest-lower mesh pt
+            axis_w, axis_d, axis_i = [], [], []
+            for a in range(3):
+                cells = base[:, a : a + 1] + offs[a][None, :]  # (m, ka)
+                disp = pos[:, a : a + 1] - cells * g.h[a]
+                self.axis_d[a][lo:hi] = disp
+                axis_d.append(disp)
+                axis_w.append(np.exp(-(disp * disp) * inv_2ss2))
+                axis_i.append(np.mod(cells, g.mesh[a]).astype(self.flat.dtype))
+            # Weights: two outer products, the big one written in place
+            # (einsum's specialized outer loop beats the stride-0
+            # broadcast multiply; each element is the same single
+            # product either way, so the bits are unchanged).
+            wv = self.w[lo:hi]
+            wxy = (axis_w[0] * norm)[:, :, None] * axis_w[1][:, None, :]
+            np.einsum("nxy,nz->nxyz", wxy, axis_w[2], out=wv)
+            # Spherical cutoff mask on r² = (dx²+dy²)+dz² (this exact
+            # association order also classifies the dense reference, so
+            # masked entries agree bit for bit).
+            d2 = [d * d for d in axis_d]
+            r2 = scratch[: hi - lo]
+            r2xy = d2[0][:, :, None] + d2[1][:, None, :]
+            np.add(r2xy[:, :, :, None], d2[2][:, None, None, :], out=r2)
+            np.multiply(wv, r2 <= c2, out=wv)
+            # Flattened mesh indices, x-major to match the mesh layout.
+            fxy = axis_i[0][:, :, None] * mesh[1] + axis_i[1][:, None, :]
+            np.add(
+                fxy[:, :, :, None] * mesh[2],
+                axis_i[2][:, None, None, :],
+                out=flat4[lo:hi],
+            )
+        return self
+
+    # -- kernels -----------------------------------------------------------
+
+    def _take(self, arr: np.ndarray, rows, lo: int, hi: int) -> np.ndarray:
+        """Chunk ``arr`` by position (all rows) or by a ``rows`` subset."""
+        return arr[lo:hi] if rows is None else arr[rows[lo:hi]]
+
+    def spread_codes(
+        self, charges: np.ndarray, mesh_acc: np.ndarray, codec,
+        rows=None, chunk: int = _KERNEL_CHUNK,
+    ) -> None:
+        """Quantize and scatter ``w · q`` into the flat int64 mesh.
+
+        Codes are ``rint(w * (q * scale / limit))`` — per-atom
+        arithmetic, so the partition of ``rows`` across callers cannot
+        change any code — and the scatter is bincount-based: whenever
+        every per-slice bin sum provably fits float64's 2⁵³ integer
+        window the integral codes are summed directly by one float64
+        ``np.bincount`` per slice (exact, and bitwise equal to
+        ``np.add.at`` because integer sums commute); codes too large
+        for that window take :func:`scatter_add_int64`'s split-word
+        path instead.
+        """
+        charges = np.asarray(charges, dtype=np.float64)
+        qc = charges * (codec.fmt.scale / codec.limit)
+        w2 = self.w.reshape(self.n, -1)
+        k = w2.shape[1]
+        n_rows = self.n if rows is None else len(rows)
+        if n_rows == 0:
+            return
+        # |code| <= max|w| * max|q·scale/limit| + 1/2 (rint); the +1.0
+        # over-covers.  A slice of r rows contributes at most r·k codes
+        # to one bin, so r·k·bound < 2**53 keeps every partial sum an
+        # exact float64 integer.
+        bound = self.gse._spread_norm * float(np.max(np.abs(qc))) + 1.0
+        exact_rows = int(2.0**52 / (bound * k))
+        if exact_rows >= 1:
+            chunk = max(1, min(chunk, exact_rows))
+            buf = self._buffer(chunk)
+            for lo in range(0, n_rows, chunk):
+                hi = min(lo + chunk, n_rows)
+                b = buf[: hi - lo]
+                np.multiply(
+                    self._take(w2, rows, lo, hi),
+                    self._take(qc, rows, lo, hi)[:, None],
+                    out=b,
+                )
+                np.rint(b, out=b)
+                part = np.bincount(
+                    self._take(self.flat, rows, lo, hi).ravel(),
+                    weights=b.ravel(),
+                    minlength=mesh_acc.shape[0],
+                )
+                with np.errstate(over="ignore"):
+                    mesh_acc += part.astype(np.int64)
+            return
+        for lo in range(0, n_rows, chunk):
+            hi = min(lo + chunk, n_rows)
+            buf = self._take(w2, rows, lo, hi) * self._take(qc, rows, lo, hi)[:, None]
+            np.rint(buf, out=buf)
+            scatter_add_int64(
+                mesh_acc, self._take(self.flat, rows, lo, hi), buf.astype(np.int64)
+            )
+
+    def spread_float(
+        self, charges: np.ndarray, mesh: np.ndarray,
+        rows=None, chunk: int = _KERNEL_CHUNK,
+    ) -> None:
+        """Unquantized spreading into the flat float64 ``mesh``."""
+        charges = np.asarray(charges, dtype=np.float64)
+        w2 = self.w.reshape(self.n, -1)
+        n_rows = self.n if rows is None else len(rows)
+        buf = self._buffer(chunk)
+        for lo in range(0, n_rows, chunk):
+            hi = min(lo + chunk, n_rows)
+            b = buf[: hi - lo]
+            np.multiply(
+                self._take(w2, rows, lo, hi),
+                self._take(charges, rows, lo, hi)[:, None],
+                out=b,
+            )
+            mesh += np.bincount(
+                self._take(self.flat, rows, lo, hi).ravel(),
+                weights=b.ravel(),
+                minlength=mesh.shape[0],
+            )
+
+    def interpolate_forces(
+        self, charges: np.ndarray, phi: np.ndarray,
+        rows=None, out=None, chunk: int = _KERNEL_CHUNK,
+    ) -> np.ndarray:
+        """Separable gather-and-contract force interpolation.
+
+        Gathers ``phi`` at the stencil indices, multiplies by the
+        weight cube, and contracts each axis factor with an einsum —
+        the ``(n, k, 3)`` displacement/coefficient tensors of the old
+        path are never built.  Each atom's contraction runs over its
+        own fixed-size stencil row, so chunk and subset boundaries are
+        invisible in the bits.
+        """
+        g = self.gse
+        charges = np.asarray(charges, dtype=np.float64)
+        phi_flat = phi.ravel()
+        n_rows = self.n if rows is None else len(rows)
+        if out is None:
+            out = np.empty((n_rows, 3))
+        kx, ky, kz = self.shape
+        w2 = self.w.reshape(self.n, -1)
+        buf = self._buffer(chunk)
+        for lo in range(0, n_rows, chunk):
+            hi = min(lo + chunk, n_rows)
+            m = hi - lo
+            cube2 = buf[:m]
+            # mode="clip" skips the bounds-check path (indices are
+            # in-range by construction: the plan wraps them with mod).
+            np.take(phi_flat, self._take(self.flat, rows, lo, hi), out=cube2, mode="clip")
+            cube2 *= self._take(w2, rows, lo, hi)
+            dz = self._take(self.axis_d[2], rows, lo, hi)
+            # One pass over the cube: contract z against [1, dz] with a
+            # per-atom fixed-shape matmul, leaving the small (m, kx, ky)
+            # partials s0 = sum_z g and s1 = sum_z g·dz.  Each atom's
+            # matmul has the same (kx·ky, kz)x(kz, 2) shape no matter
+            # how rows are chunked, so the bits are partition-invariant.
+            B = np.empty((m, kz, 2))
+            B[:, :, 0] = 1.0
+            B[:, :, 1] = dz
+            s = np.matmul(cube2.reshape(m, kx * ky, kz), B)
+            s3 = s.reshape(m, kx, ky, 2)
+            pref = self._take(charges, rows, lo, hi) / g.params.sigma_s**2
+            out[lo:hi, 0] = pref * np.einsum(
+                "nxy,nx->n", s3[..., 0], self._take(self.axis_d[0], rows, lo, hi)
+            )
+            out[lo:hi, 1] = pref * np.einsum(
+                "nxy,ny->n", s3[..., 0], self._take(self.axis_d[1], rows, lo, hi)
+            )
+            out[lo:hi, 2] = pref * np.einsum("nxy->n", s3[..., 1])
+        return out
+
+    def interpolate_potential(
+        self, phi: np.ndarray, rows=None, chunk: int = _KERNEL_CHUNK
+    ) -> np.ndarray:
+        """Per-atom potential ``phi_i = sum_m phi[m] w_im``."""
+        phi_flat = phi.ravel()
+        w2 = self.w.reshape(self.n, -1)
+        n_rows = self.n if rows is None else len(rows)
+        out = np.empty(n_rows)
+        buf = self._buffer(chunk)
+        for lo in range(0, n_rows, chunk):
+            hi = min(lo + chunk, n_rows)
+            b = buf[: hi - lo]
+            np.take(phi_flat, self._take(self.flat, rows, lo, hi), out=b, mode="clip")
+            b *= self._take(w2, rows, lo, hi)
+            out[lo:hi] = np.sum(b, axis=1)
+        return out
+
+
 class GaussianSplitEwald:
     """GSE k-space evaluator for a fixed box and parameter set.
 
     The pieces (spreading weights, mesh solve, interpolation) are
     exposed separately so the simulated machine can quantize and
     distribute each stage; :meth:`kspace` composes them for the
-    single-process path.
+    single-process path.  All of them run on :class:`MeshStencilPlan`
+    kernels, so the chunked wrappers here and a caller-held shared plan
+    produce identical bits by construction.
     """
 
     def __init__(self, box: Box, params: GSEParams, fft_backend: str = "numpy"):
@@ -114,6 +391,12 @@ class GaussianSplitEwald:
             raise ValueError(f"unknown fft_backend {fft_backend!r}")
         self._green = self._build_green()
         self._offsets = self._build_offsets()
+        #: Peak spreading weight ``h³ g_{sigma_s}(0)`` — the stencil
+        #: normalization, and the |w| bound the quantized scatter uses
+        #: to prove its float64 bin sums exact.
+        self._spread_norm = (
+            2.0 * math.pi * params.sigma_s**2
+        ) ** -1.5 * self.cell_volume
 
     # -- precomputation ---------------------------------------------------
 
@@ -135,55 +418,29 @@ class GaussianSplitEwald:
         nc = np.ceil(self.params.spreading_cutoff / self.h).astype(int)
         return nc
 
-    # -- spreading ----------------------------------------------------------
+    # -- stencil plan -------------------------------------------------------
 
-    def _cube_weights(self, positions: np.ndarray):
-        """Separable Gaussian stencil weights over the enclosing cube.
+    def make_plan(
+        self,
+        positions: np.ndarray,
+        out: MeshStencilPlan | None = None,
+        max_elements: int | None = PLAN_MAX_ELEMENTS,
+    ) -> MeshStencilPlan | None:
+        """Build (or refill) the shared stencil plan for ``positions``.
 
-        Returns ``(flat, w, axis_d)`` with ``flat``/``w`` shaped
-        (n, kx, ky, kz) and ``axis_d`` the three per-axis displacement
-        arrays (n, ka).  The Gaussian is evaluated separably — one
-        small exp per axis per stencil line, combined by outer
-        product — the hot-path optimization that keeps charge
-        spreading from dominating a time step.
+        Returns ``None`` when the plan would exceed ``max_elements``
+        (callers then fall back to the chunked per-pass wrappers, which
+        run the same kernels and therefore the same bits).  Pass a
+        previous plan as ``out`` to reuse its storage across steps.
         """
-        positions = self.box.wrap(np.asarray(positions, dtype=np.float64))
-        p = self.params
         n = len(positions)
-        base = np.floor(positions / self.h).astype(np.int64)  # nearest-lower mesh pt
-        nc = self._offsets
-        inv_2ss2 = 1.0 / (2.0 * p.sigma_s**2)
+        if max_elements is not None and n * self.stencil_size() > max_elements:
+            return None
+        if out is None or out.n != n or out.gse is not self:
+            out = MeshStencilPlan(self, n)
+        return out.build(positions)
 
-        axis_w: list[np.ndarray] = []
-        axis_d: list[np.ndarray] = []
-        axis_idx: list[np.ndarray] = []
-        for a in range(3):
-            offs = np.arange(-nc[a], nc[a] + 1)
-            cells = base[:, a : a + 1] + offs[None, :]  # (n, ka)
-            disp = positions[:, a : a + 1] - cells * self.h[a]
-            axis_d.append(disp)
-            axis_w.append(np.exp(-(disp * disp) * inv_2ss2))
-            axis_idx.append(np.mod(cells, self.mesh[a]))
-
-        kx, ky, kz = (a.shape[1] for a in axis_w)
-        norm = (2.0 * math.pi * p.sigma_s**2) ** -1.5 * self.cell_volume
-        w = (
-            axis_w[0][:, :, None, None]
-            * axis_w[1][:, None, :, None]
-            * axis_w[2][:, None, None, :]
-        ) * norm
-        r2 = (
-            (axis_d[0] ** 2)[:, :, None, None]
-            + (axis_d[1] ** 2)[:, None, :, None]
-            + (axis_d[2] ** 2)[:, None, None, :]
-        )
-        w[r2 > p.spreading_cutoff**2] = 0.0
-        flat = (
-            (axis_idx[0] * self.mesh[1])[:, :, None, None]
-            + axis_idx[1][:, None, :, None]
-        ) * self.mesh[2] + axis_idx[2][:, None, None, :]
-        flat = np.ascontiguousarray(np.broadcast_to(flat, (n, kx, ky, kz)))
-        return flat, w, axis_d
+    # -- spreading ----------------------------------------------------------
 
     def spread_weights(self, positions: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Per-atom mesh contributions.
@@ -193,14 +450,25 @@ class GaussianSplitEwald:
         Gaussian weight ``h³ g_{sigma_s}(d)`` (zero outside the
         spreading cutoff — the match-unit test), and the displacement
         vector from mesh point to atom.
+
+        This is the dense compatibility view of :class:`MeshStencilPlan`
+        (the ``disp`` tensor is materialized here and only here); the
+        hot paths hold the plan instead.
         """
-        flat4, w4, axis_d = self._cube_weights(positions)
-        n, kx, ky, kz = w4.shape
+        plan = self.make_plan(positions, max_elements=None)
+        n = plan.n
+        kx, ky, kz = plan.shape
         d = np.empty((n, kx * ky * kz, 3))
-        d[:, :, 0] = np.broadcast_to(axis_d[0][:, :, None, None], (n, kx, ky, kz)).reshape(n, -1)
-        d[:, :, 1] = np.broadcast_to(axis_d[1][:, None, :, None], (n, kx, ky, kz)).reshape(n, -1)
-        d[:, :, 2] = np.broadcast_to(axis_d[2][:, None, None, :], (n, kx, ky, kz)).reshape(n, -1)
-        return flat4.reshape(n, -1), w4.reshape(n, -1), d
+        d[:, :, 0] = np.broadcast_to(
+            plan.axis_d[0][:, :, None, None], (n, kx, ky, kz)
+        ).reshape(n, -1)
+        d[:, :, 1] = np.broadcast_to(
+            plan.axis_d[1][:, None, :, None], (n, kx, ky, kz)
+        ).reshape(n, -1)
+        d[:, :, 2] = np.broadcast_to(
+            plan.axis_d[2][:, None, None, :], (n, kx, ky, kz)
+        ).reshape(n, -1)
+        return plan.flat, plan.w.reshape(n, -1), d
 
     def spread(
         self, positions: np.ndarray, charges: np.ndarray, chunk: int = 4096, codec=None
@@ -216,15 +484,16 @@ class GaussianSplitEwald:
         integer mesh.
         """
         if codec is not None:
-            acc = np.zeros(int(np.prod(self.mesh)), dtype=np.int64)
+            acc = np.zeros(self.mesh_point_count(), dtype=np.int64)
             self.spread_contributions(positions, charges, acc, codec, chunk=chunk)
             return codec.reconstruct(codec.wrap(acc)).reshape(tuple(self.mesh))
-        Q = np.zeros(int(np.prod(self.mesh)))
+        Q = np.zeros(self.mesh_point_count())
         charges = np.asarray(charges, dtype=np.float64)
+        plan = None
         for lo in range(0, len(positions), chunk):
             hi = min(lo + chunk, len(positions))
-            flat, w, _ = self.spread_weights(positions[lo:hi])
-            np.add.at(Q, flat.ravel(), (w * charges[lo:hi, None]).ravel())
+            plan = self.make_plan(positions[lo:hi], out=plan, max_elements=None)
+            plan.spread_float(charges[lo:hi], Q)
         return Q.reshape(tuple(self.mesh))
 
     def spread_contributions(
@@ -241,12 +510,11 @@ class GaussianSplitEwald:
         any partition of atoms over callers yields identical bits.
         """
         charges = np.asarray(charges, dtype=np.float64)
+        plan = None
         for lo in range(0, len(positions), chunk):
             hi = min(lo + chunk, len(positions))
-            flat, w, _ = self.spread_weights(positions[lo:hi])
-            codes = codec.quantize_round_only(w * charges[lo:hi, None])
-            with np.errstate(over="ignore"):
-                np.add.at(mesh_acc, flat.ravel(), codes.ravel())
+            plan = self.make_plan(positions[lo:hi], out=plan, max_elements=None)
+            plan.spread_codes(charges[lo:hi], mesh_acc, codec)
 
     # -- mesh solve -----------------------------------------------------------
 
@@ -263,10 +531,21 @@ class GaussianSplitEwald:
 
     # -- interpolation ----------------------------------------------------------
 
-    def interpolate_potential(self, positions: np.ndarray, phi: np.ndarray) -> np.ndarray:
-        """Per-atom potential ``phi_i = sum_m phi[m] h³ g(r_i - r_m)``."""
-        flat, w, _ = self.spread_weights(positions)
-        return np.sum(w * phi.ravel()[flat], axis=1)
+    def interpolate_potential(
+        self, positions: np.ndarray, phi: np.ndarray, chunk: int = 4096
+    ) -> np.ndarray:
+        """Per-atom potential ``phi_i = sum_m phi[m] h³ g(r_i - r_m)``.
+
+        Chunked like :meth:`spread` / :meth:`interpolate_forces` so the
+        weight buffers never exceed ``chunk`` atoms' worth of memory.
+        """
+        out = np.empty(len(positions))
+        plan = None
+        for lo in range(0, len(positions), chunk):
+            hi = min(lo + chunk, len(positions))
+            plan = self.make_plan(positions[lo:hi], out=plan, max_elements=None)
+            out[lo:hi] = plan.interpolate_potential(phi)
+        return out
 
     def interpolate_forces(
         self, positions: np.ndarray, charges: np.ndarray, phi: np.ndarray, chunk: int = 4096
@@ -274,13 +553,11 @@ class GaussianSplitEwald:
         """Force interpolation: ``F_i = q_i sum_m phi[m] w(d) d / sigma_s²``."""
         out = np.empty((len(positions), 3))
         charges = np.asarray(charges, dtype=np.float64)
-        inv_ss2 = 1.0 / self.params.sigma_s**2
-        phi_flat = phi.ravel()
+        plan = None
         for lo in range(0, len(positions), chunk):
             hi = min(lo + chunk, len(positions))
-            flat, w, d = self.spread_weights(positions[lo:hi])
-            coef = (w * phi_flat[flat])[..., None] * d * inv_ss2
-            out[lo:hi] = charges[lo:hi, None] * np.sum(coef, axis=1)
+            plan = self.make_plan(positions[lo:hi], out=plan, max_elements=None)
+            plan.interpolate_forces(charges[lo:hi], phi, out=out[lo:hi])
         return out
 
     # -- composition ---------------------------------------------------------------
@@ -295,42 +572,27 @@ class GaussianSplitEwald:
         electrostatics.  ``codec`` enables order-invariant quantized
         spreading (see :meth:`spread`).
 
-        When the weight arrays fit in a modest memory budget they are
-        computed once and shared between the spreading and
-        interpolation passes (they are identical by construction —
-        the same radially symmetric kernel runs both on Anton's HTIS).
+        When the stencil plan fits the memory budget it is built once
+        and shared between the spreading and interpolation passes;
+        above the budget the chunked wrappers run the identical kernels
+        piecewise.
         """
-        n = len(positions)
-        k = int(np.prod(2 * self._offsets + 1))
-        if n * k <= 16_000_000:
-            flat, w, axis_d = self._cube_weights(positions)
-            charges = np.asarray(charges, dtype=np.float64)
-            contrib = w.reshape(n, -1) * charges[:, None]
-            if codec is not None:
-                acc = np.zeros(self.mesh_point_count(), dtype=np.int64)
-                with np.errstate(over="ignore"):
-                    np.add.at(acc, flat.reshape(n, -1).ravel(), codec.quantize_round_only(contrib).ravel())
-                Q = codec.reconstruct(codec.wrap(acc)).reshape(tuple(self.mesh))
-            else:
-                Qf = np.zeros(self.mesh_point_count())
-                np.add.at(Qf, flat.reshape(n, -1).ravel(), contrib.ravel())
-                Q = Qf.reshape(tuple(self.mesh))
+        plan = self.make_plan(positions)
+        if plan is None:
+            Q = self.spread(positions, charges, codec=codec)
             phi, energy = self.solve(Q)
-            g = w * phi.ravel()[flat]  # (n, kx, ky, kz)
-            pref = charges / self.params.sigma_s**2
-            forces = np.stack(
-                [
-                    pref * np.einsum("nxyz,nx->n", g, axis_d[0]),
-                    pref * np.einsum("nxyz,ny->n", g, axis_d[1]),
-                    pref * np.einsum("nxyz,nz->n", g, axis_d[2]),
-                ],
-                axis=1,
-            )
-            return energy, forces
-        Q = self.spread(positions, charges, codec=codec)
+            return energy, self.interpolate_forces(positions, charges, phi)
+        charges = np.asarray(charges, dtype=np.float64)
+        if codec is not None:
+            acc = np.zeros(self.mesh_point_count(), dtype=np.int64)
+            plan.spread_codes(charges, acc, codec)
+            Q = codec.reconstruct(codec.wrap(acc)).reshape(tuple(self.mesh))
+        else:
+            Qf = np.zeros(self.mesh_point_count())
+            plan.spread_float(charges, Qf)
+            Q = Qf.reshape(tuple(self.mesh))
         phi, energy = self.solve(Q)
-        forces = self.interpolate_forces(positions, charges, phi)
-        return energy, forces
+        return energy, plan.interpolate_forces(charges, phi)
 
     def mesh_point_count(self) -> int:
         return int(np.prod(self.mesh))

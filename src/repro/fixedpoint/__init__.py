@@ -5,13 +5,18 @@ on this package: values are quantized once with round-to-nearest-even
 and summed with exact, associative, wrapping integer arithmetic.
 """
 
-from repro.fixedpoint.accumulate import FixedAccumulator, wrapping_sum
+from repro.fixedpoint.accumulate import (
+    FixedAccumulator,
+    scatter_add_int64,
+    wrapping_sum,
+)
 from repro.fixedpoint.blockfloat import BlockFloat, BlockFloatCodec
 from repro.fixedpoint.format import FixedFormat, round_nearest_even
 from repro.fixedpoint.scaled import ScaledFixed
 
 __all__ = [
     "FixedAccumulator",
+    "scatter_add_int64",
     "wrapping_sum",
     "BlockFloat",
     "BlockFloatCodec",

@@ -18,7 +18,49 @@ import numpy as np
 
 from repro.fixedpoint.format import FixedFormat
 
-__all__ = ["FixedAccumulator", "wrapping_sum"]
+__all__ = ["FixedAccumulator", "scatter_add_int64", "wrapping_sum"]
+
+#: Contributions per scatter slice.  Each 32-bit half-word is summed in
+#: float64 via ``np.bincount``; partial sums stay below
+#: ``2**21 * 2**32 = 2**53`` per slice, so every float64 partial sum is
+#: exact and the recombined int64 total matches ``np.add.at`` bit for
+#: bit (including two's-complement wrap, which both paths take mod
+#: ``2**64``).
+_SCATTER_SLICE = 1 << 21
+
+
+def scatter_add_int64(
+    acc: np.ndarray, keys: np.ndarray, codes: np.ndarray
+) -> None:
+    """Scatter-add int64 ``codes`` into flat ``acc`` at ``keys``.
+
+    Bitwise equivalent to ``np.add.at(acc, keys, codes)`` but built on
+    ``np.bincount``, which runs a tight contiguous counting loop instead
+    of ``add.at``'s generalized buffered inner loop — several times
+    faster for the many-duplicate scatters of mesh charge spreading.
+
+    Each int64 code is split into its two 32-bit half-words; each half
+    is bincount-summed in float64 over slices small enough that the
+    partial sums are exact integers, then the halves are recombined with
+    wrapping int64 arithmetic.  Integer sums commute, so (exactly like
+    ``np.add.at``) the result is independent of the order and partition
+    of the contributions.
+    """
+    keys = keys.ravel()
+    codes = codes.ravel()
+    n = acc.shape[0]
+    lo_mask = np.int64(0xFFFFFFFF)
+    with np.errstate(over="ignore"):
+        for s in range(0, len(codes), _SCATTER_SLICE):
+            c = codes[s : s + _SCATTER_SLICE]
+            k = keys[s : s + _SCATTER_SLICE]
+            lo = np.bincount(
+                k, weights=(c & lo_mask).astype(np.float64), minlength=n
+            )
+            hi = np.bincount(
+                k, weights=(c >> np.int64(32)).astype(np.float64), minlength=n
+            )
+            acc += (hi.astype(np.int64) << np.int64(32)) + lo.astype(np.int64)
 
 
 def wrapping_sum(codes: np.ndarray, fmt: FixedFormat, axis=None) -> np.ndarray:

@@ -31,7 +31,10 @@ diagnostics — forces are exact).
 Backends also charge their engine phases to ``machine_*`` timers
 (``machine_nt_assign``, ``machine_deposit``, ``machine_mesh``,
 ``machine_traffic``) on the calculator's
-:class:`~repro.perf.timers.Timers`.
+:class:`~repro.perf.timers.Timers`, and the mesh pipeline's sub-phases
+to ``mesh_plan`` / ``mesh_spread`` / ``mesh_fft`` / ``mesh_interp``
+nested inside ``machine_mesh`` — the breakdown ``repro machine
+--profile`` and the scaling benchmark report.
 """
 
 from __future__ import annotations
@@ -62,10 +65,10 @@ __all__ = [
     "make_backend",
 ]
 
-#: Atom-chunk size for the vectorized GSE passes.  Small chunks keep the
+#: Atom-chunk size for the over-budget GSE fallback (when the shared
+#: stencil plan would exceed its memory cap).  Small chunks keep the
 #: ~2200-point stencil arrays cache-resident across the several numpy
-#: passes of spreading/interpolation, which measures ~3x faster than
-#: whole-array passes at 5k atoms on one core.
+#: passes of spreading/interpolation.
 _GSE_CHUNK = 128
 
 #: Pairs per work unit in the process backend.  Chunk boundaries depend
@@ -193,27 +196,41 @@ class SerialBackend(MachineBackend):
 
     def mesh_long_range(self, calc, positions, acc, force_codec) -> float:
         s, m, gse = calc.system, calc.machine, calc.gse
-        # Charge spreading: each node spreads the atoms it owns into a
-        # shared fixed-point mesh (order-invariant by construction).
+        t = calc.timers
+        # One shared stencil plan per evaluation; each node then spreads
+        # and interpolates over the rows it owns.  Bitwise equal to the
+        # old per-node weight rebuild: every plan kernel is per-atom
+        # arithmetic plus a commutative reduction, so the row partition
+        # is invisible in the bits.
+        with t.time("mesh_plan"):
+            plan = gse.make_plan(positions)
         mesh_acc = np.zeros(gse.mesh_point_count(), dtype=np.int64)
-        for n in range(m.topology.n_nodes):
-            mine = m.owners == n
-            if np.any(mine):
-                gse.spread_contributions(
-                    positions[mine], s.charges[mine], mesh_acc, calc.mesh_codec
-                )
+        node_rows = [np.nonzero(m.owners == n)[0] for n in range(m.topology.n_nodes)]
+        with t.time("mesh_spread"):
+            for rows in node_rows:
+                if len(rows):
+                    if plan is not None:
+                        plan.spread_codes(s.charges, mesh_acc, calc.mesh_codec, rows=rows)
+                    else:
+                        gse.spread_contributions(
+                            positions[rows], s.charges[rows], mesh_acc, calc.mesh_codec
+                        )
         Q = calc.mesh_codec.reconstruct(calc.mesh_codec.wrap(mesh_acc)).reshape(
             tuple(gse.mesh)
         )
-        m.account_fft()
-        phi, e_k = gse.solve(Q)
+        with t.time("mesh_fft"):
+            m.account_fft()
+            phi, e_k = gse.solve(Q)
 
         # Force interpolation, per owning node.
-        for n in range(m.topology.n_nodes):
-            mine = np.nonzero(m.owners == n)[0]
-            if len(mine):
-                f_k = gse.interpolate_forces(positions[mine], s.charges[mine], phi)
-                acc.deposit(mine, force_codec.quantize_round_only(f_k))
+        with t.time("mesh_interp"):
+            for rows in node_rows:
+                if len(rows):
+                    if plan is not None:
+                        f_k = plan.interpolate_forces(s.charges, phi, rows=rows)
+                    else:
+                        f_k = gse.interpolate_forces(positions[rows], s.charges[rows], phi)
+                    acc.deposit(rows, force_codec.quantize_round_only(f_k))
         return e_k
 
     def account_position_import(self, machine) -> None:
@@ -261,6 +278,8 @@ class VectorizedBackend(MachineBackend):
         super().bind(calc)
         self._import_routes: tuple[np.ndarray, np.ndarray] | None = None
         self._nt_tables: tuple[np.ndarray, np.ndarray] | None = None
+        #: Shared mesh stencil plan, storage reused across steps.
+        self._mesh_plan = None
 
     def _assign_pairs(self, m, positions, i, j) -> NTAssignment:
         """NT assignment via the tabulated box-pair rule.
@@ -307,17 +326,33 @@ class VectorizedBackend(MachineBackend):
 
     def mesh_long_range(self, calc, positions, acc, force_codec) -> float:
         s, m, gse = calc.system, calc.machine, calc.gse
+        t = calc.timers
+        # The stencil plan is built once per evaluation and shared by
+        # the spreading and interpolation passes (the old path rebuilt
+        # the weights in each); its storage persists across steps.
+        with t.time("mesh_plan"):
+            self._mesh_plan = gse.make_plan(positions, out=self._mesh_plan)
+        plan = self._mesh_plan
         mesh_acc = np.zeros(gse.mesh_point_count(), dtype=np.int64)
-        gse.spread_contributions(
-            positions, s.charges, mesh_acc, calc.mesh_codec, chunk=_GSE_CHUNK
-        )
+        with t.time("mesh_spread"):
+            if plan is not None:
+                plan.spread_codes(s.charges, mesh_acc, calc.mesh_codec)
+            else:
+                gse.spread_contributions(
+                    positions, s.charges, mesh_acc, calc.mesh_codec, chunk=_GSE_CHUNK
+                )
         Q = calc.mesh_codec.reconstruct(calc.mesh_codec.wrap(mesh_acc)).reshape(
             tuple(gse.mesh)
         )
-        m.account_fft()
-        phi, e_k = gse.solve(Q)
-        f_k = gse.interpolate_forces(positions, s.charges, phi, chunk=_GSE_CHUNK)
-        acc.deposit_dense(force_codec.quantize_round_only(f_k))
+        with t.time("mesh_fft"):
+            m.account_fft()
+            phi, e_k = gse.solve(Q)
+        with t.time("mesh_interp"):
+            if plan is not None:
+                f_k = plan.interpolate_forces(s.charges, phi)
+            else:
+                f_k = gse.interpolate_forces(positions, s.charges, phi, chunk=_GSE_CHUNK)
+            acc.deposit_dense(force_codec.quantize_round_only(f_k))
         return e_k
 
     def _import_route_arrays(self, machine) -> tuple[np.ndarray, np.ndarray]:

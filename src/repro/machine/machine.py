@@ -205,6 +205,7 @@ class AntonMachine:
             config=fixed_config,
             constraints=solver,
             thermostat=thermostat,
+            timers=self.calc.timers,
         )
 
     def close(self) -> None:
@@ -275,16 +276,27 @@ class AntonMachine:
         self.correction_lists = correction_pairs_per_node(self.system.exclusions, self.owners)
 
     def step(self, n: int = 1) -> None:
-        """Advance n machine time steps."""
+        """Advance n machine time steps.
+
+        Each step is recorded as a ``machine_step`` phase whose
+        children (position import, the integrator's ``step`` subtree,
+        migration, bond reassignment) cover essentially all of the
+        wall time — the basis of :meth:`profile`.
+        """
+        t = self.calc.timers
         for _ in range(n):
-            self.account_position_import()
-            self.integrator.step()
-            event = self.migration.step(self.integrator.positions)
-            if event is not None:
-                self.account_migration(event.n_migrated)
-                self.owners = self.migration.owners
-            if self.integrator.step_count % self.bond_reassign_interval == 0:
-                self.reassign_bond_terms()
+            with t.time("machine_step"):
+                with t.time("import"):
+                    self.account_position_import()
+                self.integrator.step()
+                with t.time("migration"):
+                    event = self.migration.step(self.integrator.positions)
+                    if event is not None:
+                        self.account_migration(event.n_migrated)
+                        self.owners = self.migration.owners
+                if self.integrator.step_count % self.bond_reassign_interval == 0:
+                    with t.time("bond_reassign"):
+                        self.reassign_bond_terms()
 
     # -- checkpointing -------------------------------------------------------
 
@@ -345,9 +357,49 @@ class AntonMachine:
         return self.network.stats.messages / (steps * self.topology.n_nodes)
 
     def phase_timings(self) -> dict[str, float]:
-        """Cumulative seconds per ``machine_*`` engine phase."""
+        """Cumulative seconds per engine phase.
+
+        Covers the ``machine_*`` bookkeeping phases and the ``mesh_*``
+        sub-phases (plan build, spread, FFT solve, interpolation) the
+        backends charge inside ``machine_mesh``.
+        """
         return {
-            k: v for k, v in self.calc.timers.elapsed.items() if k.startswith("machine_")
+            k: v
+            for k, v in self.calc.timers.elapsed.items()
+            if k.startswith(("machine_", "mesh_"))
+        }
+
+    def profile(self) -> dict:
+        """Hierarchical per-step phase profile (the ``--profile`` dump).
+
+        Returns per-step seconds for every phase recorded under the
+        ``machine_step`` umbrella, nested exactly as the phases ran
+        (``step -> force -> machine_mesh -> mesh_spread``...), plus a
+        ``coverage`` ratio: the fraction of the measured step wall time
+        accounted for by its top-level children.
+        """
+        t = self.calc.timers
+        steps = max(self.integrator.step_count, 1)
+        total = t.paths.get("machine_step", 0.0)
+
+        def scale(node: dict) -> dict:
+            return {
+                name: {
+                    "seconds_per_step": entry["seconds"] / steps,
+                    "children": scale(entry["children"]),
+                }
+                for name, entry in sorted(
+                    node.items(), key=lambda kv: -kv[1]["seconds"]
+                )
+            }
+
+        phases = t.tree("machine_step")
+        covered = sum(entry["seconds"] for entry in phases.values())
+        return {
+            "steps": self.integrator.step_count,
+            "wall_per_step": total / steps,
+            "coverage": covered / total if total > 0.0 else 0.0,
+            "phases": scale(phases),
         }
 
     def engine_seconds(self) -> float:

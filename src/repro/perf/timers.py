@@ -6,8 +6,16 @@ search, range-limited kernels, bonded, correction, k-space) to a named
 accumulator; the neighbor list counts its builds and reuses in the
 same registry.  Per-evaluation deltas are surfaced in
 :class:`~repro.core.forces.ForceReport.timings` and the cumulative
-summary in the CLI, so hot-path optimizations — this PR's buffered
-Verlet list and every future one — are measurable without a profiler.
+summary in the CLI, so hot-path optimizations — the buffered Verlet
+list, the shared mesh stencil plan, and every future one — are
+measurable without a profiler.
+
+:meth:`Timers.time` is nesting-aware: in addition to the flat
+per-name totals it records each timing under its full runtime path
+(``step/force/machine_mesh/mesh_spread``), and :meth:`Timers.tree`
+folds those paths into a hierarchical phase profile — the
+``repro machine --profile`` report that shows where a whole time step
+actually goes.
 
 Timing is observational only: nothing in the numerics reads a clock,
 so determinism and bitwise reproducibility are untouched.
@@ -22,22 +30,40 @@ __all__ = ["Timers"]
 
 
 class Timers:
-    """Named wall-time accumulators plus event counters."""
+    """Named wall-time accumulators plus event counters.
 
-    __slots__ = ("elapsed", "counts")
+    ``elapsed`` keeps the familiar flat per-name totals (a name nested
+    under several parents accumulates into one flat entry, and
+    :meth:`snapshot`/:meth:`delta_since` operate on it unchanged);
+    ``paths`` additionally keys each total by the "/"-joined stack of
+    enclosing :meth:`time` blocks, which is what :meth:`tree` renders.
+    """
+
+    __slots__ = ("elapsed", "counts", "paths", "_stack")
 
     def __init__(self) -> None:
         self.elapsed: dict[str, float] = {}
         self.counts: dict[str, int] = {}
+        self.paths: dict[str, float] = {}
+        self._stack: list[str] = []
 
     @contextmanager
     def time(self, name: str):
-        """Context manager charging the enclosed block to ``name``."""
+        """Context manager charging the enclosed block to ``name``.
+
+        The charge lands both in the flat ``elapsed[name]`` total and
+        in ``paths`` under the current nesting (``outer/inner``).
+        """
+        self._stack.append(name)
+        path = "/".join(self._stack)
         t0 = perf_counter()
         try:
             yield
         finally:
-            self.elapsed[name] = self.elapsed.get(name, 0.0) + (perf_counter() - t0)
+            dt = perf_counter() - t0
+            self._stack.pop()
+            self.elapsed[name] = self.elapsed.get(name, 0.0) + dt
+            self.paths[path] = self.paths.get(path, 0.0) + dt
 
     def add(self, name: str, seconds: float) -> None:
         self.elapsed[name] = self.elapsed.get(name, 0.0) + float(seconds)
@@ -72,6 +98,35 @@ class Timers:
     def reset(self) -> None:
         self.elapsed.clear()
         self.counts.clear()
+        self.paths.clear()
+
+    # -- hierarchy ---------------------------------------------------------
+
+    def tree(self, root: str | None = None) -> dict:
+        """Fold the recorded paths into a nested phase profile.
+
+        Returns ``{name: {"seconds": s, "children": {...}}}`` mirroring
+        the runtime nesting of :meth:`time` blocks.  With ``root``,
+        only the subtree beneath that top-level phase is returned
+        (e.g. ``tree("step")`` for the per-step profile).
+        """
+        out: dict = {}
+        for path, secs in self.paths.items():
+            parts = path.split("/")
+            if root is not None:
+                if parts[0] != root:
+                    continue
+                parts = parts[1:]
+                if not parts:
+                    continue
+            node = out
+            for part in parts[:-1]:
+                node = node.setdefault(part, {"seconds": 0.0, "children": {}})[
+                    "children"
+                ]
+            leaf = node.setdefault(parts[-1], {"seconds": 0.0, "children": {}})
+            leaf["seconds"] += secs
+        return out
 
     def summary_lines(self) -> list[str]:
         """Human-readable cumulative summary, slowest component first."""

@@ -151,3 +151,41 @@ class TestProcessBackendLifecycle:
         X_res, V_res = resumed.state_codes()
         np.testing.assert_array_equal(X_ref, X_res)
         np.testing.assert_array_equal(V_ref, V_res)
+
+
+class TestStepProfile:
+    """The hierarchical phase profile accounts for the step wall time."""
+
+    @pytest.mark.parametrize("backend", ["serial", "vectorized"])
+    def test_profile_covers_step_and_exposes_mesh_subphases(self, base_system, backend):
+        machine = AntonMachine(
+            base_system.copy(), PARAMS, n_nodes=8, dt=1.0, backend=backend
+        )
+        try:
+            machine.step(4)
+            prof = machine.profile()
+        finally:
+            machine.close()
+        assert prof["steps"] == 4
+        assert prof["wall_per_step"] > 0.0
+        # Top-level phases must explain >= 90% of the measured step time.
+        assert prof["coverage"] >= 0.9
+        mesh = (
+            prof["phases"]["step"]["children"]["force"]["children"]
+            ["machine_mesh"]["children"]
+        )
+        for phase in ("mesh_spread", "mesh_fft", "mesh_interp"):
+            assert phase in mesh
+            assert mesh[phase]["seconds_per_step"] > 0.0
+
+    def test_phase_timings_include_mesh_subphases(self, base_system):
+        machine = AntonMachine(
+            base_system.copy(), PARAMS, n_nodes=8, dt=1.0, backend="vectorized"
+        )
+        try:
+            machine.step(2)
+            phases = machine.phase_timings()
+        finally:
+            machine.close()
+        assert {"mesh_spread", "mesh_fft", "mesh_interp"} <= set(phases)
+        assert all(v >= 0.0 for v in phases.values())

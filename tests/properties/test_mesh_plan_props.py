@@ -1,0 +1,116 @@
+"""Property tests of the shared mesh stencil plan.
+
+The machine backends build one :class:`~repro.ewald.MeshStencilPlan`
+per mesh evaluation and run charge spreading and force interpolation
+from it, partitioned over simulated nodes by ``rows`` subsets.  These
+properties pin down the bitwise contract that makes that safe: under
+quantized (``mesh_codec``-style) arithmetic the plan kernels must be
+exactly equivalent to the independent chunked GSE passes, for any atom
+permutation, any kernel chunk size, and any partition of rows.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ewald import GaussianSplitEwald, GSEParams
+from repro.fixedpoint import FixedFormat, ScaledFixed
+from repro.geometry import Box
+
+#: Same codec family the machine uses for its fixed-point mesh.
+MESH_CODEC = ScaledFixed(FixedFormat(40), limit=8.0)
+
+SIDE = 18.0
+
+
+def scene():
+    return st.tuples(
+        st.integers(2, 24),  # atoms
+        st.integers(0, 2**31 - 1),  # seed
+        st.integers(1, 16),  # kernel chunk size
+    )
+
+
+def make_gse() -> GaussianSplitEwald:
+    box = Box.cubic(SIDE)
+    return GaussianSplitEwald(box, GSEParams.choose(box, 5.0, (24, 24, 24)))
+
+
+def random_atoms(rng, n):
+    pos = rng.uniform(0, SIDE, (n, 3))
+    q = rng.uniform(-1, 1, n)
+    return pos, q
+
+
+@given(scene())
+@settings(max_examples=25, deadline=None)
+def test_plan_spread_matches_independent_path_under_permutation(params):
+    n, seed, chunk = params
+    rng = np.random.default_rng(seed)
+    gse = make_gse()
+    pos, q = random_atoms(rng, n)
+
+    ref = np.zeros(gse.mesh_point_count(), dtype=np.int64)
+    gse.spread_contributions(pos, q, ref, MESH_CODEC)
+
+    perm = rng.permutation(n)
+    acc = np.zeros_like(ref)
+    gse.make_plan(pos[perm]).spread_codes(q[perm], acc, MESH_CODEC, chunk=chunk)
+    np.testing.assert_array_equal(acc, ref)
+
+
+@given(scene())
+@settings(max_examples=25, deadline=None)
+def test_plan_forces_match_independent_path_under_permutation(params):
+    n, seed, chunk = params
+    rng = np.random.default_rng(seed)
+    gse = make_gse()
+    pos, q = random_atoms(rng, n)
+    phi, _ = gse.solve(gse.spread(pos, q, codec=MESH_CODEC))
+
+    ref = gse.interpolate_forces(pos, q, phi)
+
+    perm = rng.permutation(n)
+    f = gse.make_plan(pos[perm]).interpolate_forces(q[perm], phi, chunk=chunk)
+    np.testing.assert_array_equal(f, ref[perm])
+
+
+@given(scene())
+@settings(max_examples=25, deadline=None)
+def test_rows_partition_is_invisible(params):
+    """Spreading/interpolating by arbitrary row subsets (the serial
+    backend's per-node split) is bitwise the whole-array result."""
+    n, seed, chunk = params
+    rng = np.random.default_rng(seed)
+    gse = make_gse()
+    pos, q = random_atoms(rng, n)
+    plan = gse.make_plan(pos)
+
+    whole = np.zeros(gse.mesh_point_count(), dtype=np.int64)
+    plan.spread_codes(q, whole, MESH_CODEC)
+    phi, _ = gse.solve(MESH_CODEC.reconstruct(MESH_CODEC.wrap(whole)).reshape(tuple(gse.mesh)))
+    f_whole = plan.interpolate_forces(q, phi)
+
+    owners = rng.integers(0, 3, n)
+    split = np.zeros_like(whole)
+    f_split = np.empty_like(f_whole)
+    for node in range(3):
+        rows = np.nonzero(owners == node)[0]
+        if len(rows):
+            plan.spread_codes(q, split, MESH_CODEC, rows=rows, chunk=chunk)
+            f_split[rows] = plan.interpolate_forces(q, phi, rows=rows, chunk=chunk)
+    np.testing.assert_array_equal(split, whole)
+    np.testing.assert_array_equal(f_split, f_whole)
+
+
+@given(scene())
+@settings(max_examples=15, deadline=None)
+def test_plan_potential_matches_independent_path(params):
+    n, seed, chunk = params
+    rng = np.random.default_rng(seed)
+    gse = make_gse()
+    pos, q = random_atoms(rng, n)
+    phi, _ = gse.solve(gse.spread(pos, q, codec=MESH_CODEC))
+    ref = gse.interpolate_potential(pos, phi)
+    got = gse.make_plan(pos).interpolate_potential(phi, chunk=chunk)
+    np.testing.assert_array_equal(got, ref)

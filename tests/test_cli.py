@@ -40,6 +40,17 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "bitwise identical to the 1-node machine: True" in out
 
+    def test_machine_profile_emits_phase_json(self, capsys):
+        import json
+
+        assert main(["machine", "--nodes", "8", "--waters", "16", "--steps", "2",
+                     "--profile"]) == 0
+        out = capsys.readouterr().out
+        prof = json.loads(out[out.index("{"):])
+        assert prof["steps"] == 2
+        assert prof["coverage"] >= 0.9
+        assert "step" in prof["phases"]
+
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])

@@ -6,7 +6,6 @@ import pytest
 from repro.core import (
     BerendsenThermostat,
     ChemicalSystem,
-    FixedPointConfig,
     MDParams,
     PositionCodec,
     Simulation,

@@ -9,7 +9,6 @@ from repro.ewald import (
     correction_forces,
     direct_ewald,
     real_space_energy_kernel,
-    real_space_force_kernel,
     self_energy,
 )
 from repro.forcefield import LJTable, Topology, build_exclusions

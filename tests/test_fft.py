@@ -48,7 +48,7 @@ class TestRadix2:
         x = rng.normal(size=64) + 1j * rng.normal(size=64)
         np.testing.assert_allclose(ifft1d(fft1d(x)), x, atol=1e-10)
 
-    @pytest.mark.parametrize("shape", [(8, 8, 8), (16, 8, 4), (32, 32, 32)])
+    @pytest.mark.parametrize("shape", [(8, 8, 8), (16, 8, 4), (32, 32, 32), (16, 8, 32), (2, 64, 4)])
     def test_matches_numpy_3d(self, shape):
         rng = np.random.default_rng(7)
         x = rng.normal(size=shape)

@@ -38,8 +38,61 @@ class TestTimers:
         t = Timers()
         t.add("a", 1.0)
         t.count("n")
+        with t.time("x"):
+            pass
         t.reset()
-        assert t.elapsed == {} and t.counts == {}
+        assert t.elapsed == {} and t.counts == {} and t.paths == {}
+
+    def test_nested_time_records_paths_and_flat_totals(self):
+        t = Timers()
+        with t.time("outer"):
+            with t.time("inner"):
+                time.sleep(0.001)
+            with t.time("inner"):
+                pass
+        with t.time("inner"):  # top-level use of the same name
+            pass
+        assert set(t.paths) == {"outer", "outer/inner", "inner"}
+        # Flat totals merge every use of the name, nested or not.
+        assert t.elapsed["inner"] >= t.paths["outer/inner"]
+        assert t.paths["outer"] >= t.paths["outer/inner"]
+
+    def test_tree_folds_paths(self):
+        t = Timers()
+        with t.time("step"):
+            with t.time("force"):
+                with t.time("mesh"):
+                    pass
+            with t.time("drift"):
+                pass
+        tree = t.tree()
+        assert set(tree) == {"step"}
+        step = tree["step"]
+        assert set(step["children"]) == {"force", "drift"}
+        assert "mesh" in step["children"]["force"]["children"]
+        children_sum = sum(c["seconds"] for c in step["children"].values())
+        assert step["seconds"] >= children_sum
+
+    def test_tree_with_root_returns_subtree(self):
+        t = Timers()
+        with t.time("step"):
+            with t.time("force"):
+                pass
+        with t.time("other"):
+            pass
+        sub = t.tree("step")
+        assert set(sub) == {"force"}
+
+    def test_exception_inside_block_still_charges(self):
+        t = Timers()
+        try:
+            with t.time("a"):
+                with t.time("b"):
+                    raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert "a/b" in t.paths and "a" in t.paths
+        assert t._stack == []  # stack unwound cleanly
 
     def test_summary_lines_sorted_by_time(self):
         t = Timers()
