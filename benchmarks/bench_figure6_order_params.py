@@ -12,7 +12,7 @@ chaotic trajectories.
 
 import numpy as np
 
-from repro.analysis import kabsch_align, nh_vectors, order_parameters
+from repro.analysis import order_parameters_from_trajectory
 from repro.core import BerendsenThermostat, MDParams, Simulation, minimize_energy
 from repro.geometry import Box
 from repro.systems import synthetic_protein
@@ -43,7 +43,13 @@ def build_peptide(seed=0):
 
 TEMPERATURE = 220.0  # cool enough that the fold stays intact
 
-def s2_from_run(system, mode: str, n_steps: int, seed: int):
+def s2_from_run(system, mode: str, n_steps: int, seed: int, traj_path):
+    """Simulate, stream the trajectory to disk, analyze the file.
+
+    The S² estimate is computed *offline* from the stored frames — the
+    paper's workflow — which is exact because the file holds the run's
+    integer state codes.
+    """
     sys_run = system.copy()
     sys_run.initialize_velocities(TEMPERATURE, seed=seed)
     sim = Simulation(
@@ -54,26 +60,28 @@ def s2_from_run(system, mode: str, n_steps: int, seed: int):
         thermostat=BerendsenThermostat(TEMPERATURE, tau=500.0),
         constraints=True,
     )
-    sim.run(n_steps, snapshot_every=10)
+    with sim.open_trajectory(traj_path) as traj:
+        sim.write_frame(traj)  # step-0 reference frame
+        sim.run(n_steps, trajectory=traj, trajectory_every=10)
     # Align on the heavy backbone (N, CA, C per residue) so hydrogens
     # contribute motion, not alignment noise.
     backbone = np.concatenate([np.arange(N_RESIDUES) * 8 + k for k in (0, 2, 6)])
-    ref = sim.snapshots[0]
-    aligned = [kabsch_align(s, ref, subset=backbone) for s in sim.snapshots]
     n_idx = np.arange(N_RESIDUES) * 8 + 0  # N
     h_idx = np.arange(N_RESIDUES) * 8 + 1  # HN
-    return order_parameters(nh_vectors(aligned, n_idx, h_idx))
+    return order_parameters_from_trajectory(
+        traj_path, n_idx, h_idx, align_subset=backbone
+    )
 
 
-def test_figure6_order_parameters(benchmark, record_table):
+def test_figure6_order_parameters(benchmark, record_table, tmp_path):
     system = build_peptide()
 
     def run_all():
         # Same trajectory length for all three estimates (unequal
         # lengths bias S2 systematically downward for the longer run).
-        anton = s2_from_run(system, "fixed", 1500, seed=11)
-        desmond = s2_from_run(system, "float", 1500, seed=12)
-        nmr_like = s2_from_run(system, "float", 1500, seed=13)
+        anton = s2_from_run(system, "fixed", 1500, seed=11, traj_path=tmp_path / "anton.rrs")
+        desmond = s2_from_run(system, "float", 1500, seed=12, traj_path=tmp_path / "desmond.rrs")
+        nmr_like = s2_from_run(system, "float", 1500, seed=13, traj_path=tmp_path / "ref.rrs")
         return anton, desmond, nmr_like
 
     anton, desmond, nmr_like = benchmark.pedantic(run_all, rounds=1, iterations=1)

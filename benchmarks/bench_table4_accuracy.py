@@ -18,7 +18,7 @@ accuracy, not absolute size):
 import numpy as np
 import pytest
 
-from repro.analysis import energy_drift, force_error
+from repro.analysis import drift_from_energy_log, energy_drift, force_error
 from repro.core import FixedPointConfig, ForceCalculator, MDParams, Simulation, minimize_energy
 from repro.ewald import direct_ewald, plain_coulomb_force_kernel
 from repro.forcefield import all_bonded_forces, lj_energy_prefactor, scatter_forces
@@ -125,7 +125,7 @@ def test_table4_force_errors(benchmark, record_table, name, scale):
     assert numerical.fraction < 1e-4
 
 
-def test_table4_energy_drift(benchmark, record_table):
+def test_table4_energy_drift(benchmark, record_table, tmp_path):
     spec = benchmark_by_name("gpW")
     system = spec.build(scale=0.06, seed=1)
     params = MDParams(cutoff=8.0, mesh=(32, 32, 32))
@@ -141,11 +141,17 @@ def test_table4_energy_drift(benchmark, record_table):
     system.velocities = eq.velocities
 
     def run_nve():
+        # Stream the energy log to disk and fit the drift offline from
+        # the file — the paper's analyze-a-stored-run workflow.
+        from repro.io import EnergyLogWriter
+
+        log_path = tmp_path / "nve.jsonl"
         sim = Simulation(system.copy(), params, dt=2.5, mode="fixed")
-        recs = sim.run(3200, record_every=80)
+        with EnergyLogWriter(log_path) as writer:
+            recs = sim.run(3200, record_every=80, energy_writer=writer)
         half = len(recs) // 2
         return (
-            energy_drift(recs, system.n_dof),
+            drift_from_energy_log(log_path, system.n_dof),
             energy_drift(recs[:half], system.n_dof),
             energy_drift(recs[half:], system.n_dof),
         )

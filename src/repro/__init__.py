@@ -38,6 +38,13 @@ from repro.core import (
     minimize_energy,
     run_npt,
 )
+from repro.io import (
+    CheckpointStore,
+    EnergyLogWriter,
+    TrajectoryReader,
+    TrajectoryWriter,
+    read_energy_log,
+)
 from repro.machine import ANTON_2008, AntonHardware, AntonMachine
 from repro.perf import PerformanceModel
 from repro.systems import (
@@ -68,6 +75,11 @@ __all__ = [
     "Simulation",
     "VelocityVerlet",
     "minimize_energy",
+    "CheckpointStore",
+    "EnergyLogWriter",
+    "TrajectoryReader",
+    "TrajectoryWriter",
+    "read_energy_log",
     "ANTON_2008",
     "AntonHardware",
     "AntonMachine",

@@ -11,6 +11,11 @@ from repro.analysis.rmsd import (
     kabsch_rmsd,
     radius_of_gyration,
 )
+from repro.analysis.trajectory import (
+    drift_from_energy_log,
+    load_positions,
+    order_parameters_from_trajectory,
+)
 
 __all__ = [
     "DriftResult",
@@ -25,4 +30,7 @@ __all__ = [
     "kabsch_align",
     "kabsch_rmsd",
     "radius_of_gyration",
+    "drift_from_energy_log",
+    "load_positions",
+    "order_parameters_from_trajectory",
 ]

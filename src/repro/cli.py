@@ -5,12 +5,18 @@ Commands
 simulate   build a benchmark system (at reduced scale) and run MD
 machine    run the functional multi-node machine and report traffic
 perf       print the performance model's Table 2 profile / Figure 5 rate
+traj       inspect, dump, or CRC-verify a trajectory file
 info       version, paper reference, and reproduced-experiment index
+
+Long runs persist through the durable run store (``--trajectory``,
+``--checkpoint-dir``/``--checkpoint-every``, ``--energy-log``) and
+resume bit-exactly with ``--resume``.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 import numpy as np
@@ -32,6 +38,26 @@ def _add_simulate(sub) -> None:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--timings", action="store_true",
                    help="print per-component wall-time counters after the run")
+    _add_store_flags(p)
+
+
+def _add_store_flags(p, energy_log: bool = True) -> None:
+    g = p.add_argument_group("durable run store")
+    g.add_argument("--trajectory", metavar="PATH",
+                   help="write a bit-exact binary trajectory to PATH")
+    g.add_argument("--trajectory-every", type=int, default=0, metavar="N",
+                   help="steps between frames (default: --record-every)")
+    g.add_argument("--checkpoint-dir", metavar="DIR",
+                   help="directory for rolling atomic checkpoints")
+    g.add_argument("--checkpoint-every", type=int, default=0, metavar="N",
+                   help="steps between checkpoints (0: only a final one)")
+    g.add_argument("--retain", type=int, default=4,
+                   help="checkpoints kept in the rolling store (default 4)")
+    g.add_argument("--resume", action="store_true",
+                   help="resume bit-exactly from the newest valid checkpoint")
+    if energy_log:
+        g.add_argument("--energy-log", metavar="PATH",
+                       help="stream energy records to PATH as JSON lines")
 
 
 def _add_machine(sub) -> None:
@@ -49,6 +75,19 @@ def _add_machine(sub) -> None:
                    help="print per-phase machine engine timings after the run")
     p.add_argument("--profile", action="store_true",
                    help="print the hierarchical per-step phase profile as JSON")
+    _add_store_flags(p, energy_log=False)
+
+
+def _add_traj(sub) -> None:
+    p = sub.add_parser("traj", help="inspect/verify trajectory files")
+    p.add_argument("action", choices=("info", "dump", "verify"),
+                   help="info: header + frame table; dump: one frame; "
+                        "verify: CRC-check every record")
+    p.add_argument("path", help="trajectory file")
+    p.add_argument("--frame", type=int, default=-1,
+                   help="frame index for dump (negative from the end)")
+    p.add_argument("--atoms", type=int, default=3,
+                   help="atom rows to print for dump")
 
 
 def _add_perf(sub) -> None:
@@ -58,10 +97,30 @@ def _add_perf(sub) -> None:
     p.add_argument("--profile", action="store_true", help="print the Table 2 style task profile")
 
 
+def _open_store(args):
+    """(store, loaded) from the durable-store flags; SystemExit on misuse."""
+    from repro.io import CheckpointError, CheckpointStore
+
+    store = None
+    if args.checkpoint_dir:
+        store = CheckpointStore(args.checkpoint_dir, retain=args.retain)
+    loaded = None
+    if args.resume:
+        if store is None:
+            raise SystemExit("--resume requires --checkpoint-dir")
+        try:
+            loaded = store.load_latest()
+        except CheckpointError as exc:
+            raise SystemExit(str(exc)) from exc
+        for path, why in loaded.skipped:
+            print(f"warning: skipped corrupt snapshot {path}: {why}")
+    return store, loaded
+
+
 def cmd_simulate(args) -> int:
     from dataclasses import replace
 
-    from repro import BerendsenThermostat, MDParams, Simulation, minimize_energy
+    from repro import BerendsenThermostat, EnergyLogWriter, MDParams, Simulation, minimize_energy
     from repro.systems import benchmark_by_name, build_hp_system, build_water_box, hp_miniprotein
 
     if args.system == "water":
@@ -81,9 +140,13 @@ def cmd_simulate(args) -> int:
     print(f"system: {system.meta.get('name', args.system)} — {system.n_atoms} atoms, "
           f"box {system.box.lengths[0]:.1f} A, cutoff {params.cutoff:.1f} A, "
           f"skin {params.skin:.1f} A")
-    e = minimize_energy(system, params, max_steps=80)
-    print(f"minimized potential energy: {e:.1f} kcal/mol")
-    system.initialize_velocities(args.temperature, seed=args.seed + 1)
+    store, loaded = _open_store(args)
+    if loaded is None:
+        # A restore replaces the dynamic state wholesale, so system
+        # preparation is only needed for fresh runs.
+        e = minimize_energy(system, params, max_steps=80)
+        print(f"minimized potential energy: {e:.1f} kcal/mol")
+        system.initialize_velocities(args.temperature, seed=args.seed + 1)
     sim = Simulation(
         system,
         params,
@@ -92,9 +155,44 @@ def cmd_simulate(args) -> int:
         thermostat=BerendsenThermostat(args.temperature),
         constraints=True,
     )
-    print(f"{'step':>8} {'E_total':>14} {'T (K)':>8}")
-    for rec in sim.run(args.steps, record_every=args.record_every):
-        print(f"{rec.step:>8} {rec.total:>14.4f} {rec.temperature:>8.0f}")
+    steps = args.steps
+    if loaded is not None:
+        sim.restore(loaded.state)
+        done = sim.integrator.step_count
+        steps = max(0, args.steps - done)
+        print(f"resumed from {loaded.path} at step {done} ({steps} steps remain)")
+
+    trajectory = None
+    trajectory_every = args.trajectory_every or args.record_every
+    if args.trajectory:
+        if loaded is not None and os.path.exists(args.trajectory):
+            trajectory = sim.append_trajectory(args.trajectory)
+        else:
+            trajectory = sim.open_trajectory(args.trajectory)
+    energy_writer = None
+    if args.energy_log:
+        energy_writer = EnergyLogWriter(args.energy_log, append=loaded is not None)
+
+    try:
+        print(f"{'step':>8} {'E_total':>14} {'T (K)':>8}")
+        for rec in sim.run(
+            steps,
+            record_every=args.record_every,
+            energy_writer=energy_writer,
+            trajectory=trajectory,
+            trajectory_every=trajectory_every,
+            checkpoint_store=store,
+            checkpoint_every=args.checkpoint_every,
+        ):
+            print(f"{rec.step:>8} {rec.total:>14.4f} {rec.temperature:>8.0f}")
+    finally:
+        if trajectory is not None:
+            trajectory.close()
+        if energy_writer is not None:
+            energy_writer.close()
+    if store is not None:
+        final = store.save(sim.checkpoint(), sim.integrator.step_count)
+        print(f"final checkpoint: {final}")
     nl = sim.calc.neighbor_list
     print(f"neighbor list: {nl.n_builds} builds / {nl.n_reuses} reuses "
           f"(skin {nl.effective_skin:.1f} A, {nl.n_candidates} cached pairs)")
@@ -112,13 +210,40 @@ def cmd_machine(args) -> int:
     base = build_water_box(n_molecules=args.waters, seed=7)
     cutoff = min(4.5, base.box.max_cutoff() * 0.9)
     params = MDParams(cutoff=cutoff, mesh=(16, 16, 16), quantize_mesh_bits=40)
-    minimize_energy(base, params, max_steps=40)
-    base.initialize_velocities(300.0, seed=8)
+    store, loaded = _open_store(args)
+    if loaded is None:
+        minimize_energy(base, params, max_steps=40)
+        base.initialize_velocities(300.0, seed=8)
 
     machine = AntonMachine(
         base.copy(), params, n_nodes=args.nodes, dt=1.0, backend=args.backend
     )
-    machine.step(args.steps)
+    steps = args.steps
+    if loaded is not None:
+        machine.restore(loaded.state)
+        done = machine.integrator.step_count
+        steps = max(0, args.steps - done)
+        print(f"resumed from {loaded.path} at step {done} ({steps} steps remain)")
+    trajectory = None
+    if args.trajectory:
+        if loaded is not None and os.path.exists(args.trajectory):
+            trajectory = machine.append_trajectory(args.trajectory)
+        else:
+            trajectory = machine.open_trajectory(args.trajectory)
+    try:
+        machine.run(
+            steps,
+            trajectory=trajectory,
+            trajectory_every=args.trajectory_every,
+            checkpoint_store=store,
+            checkpoint_every=args.checkpoint_every,
+        )
+    finally:
+        if trajectory is not None:
+            trajectory.close()
+    if store is not None:
+        final = store.save(machine.checkpoint(), machine.integrator.step_count)
+        print(f"final checkpoint: {final}")
     print(f"{args.nodes}-node machine, {args.steps} steps "
           f"({machine.topology.dims[0]}x{machine.topology.dims[1]}x{machine.topology.dims[2]} torus), "
           f"{args.backend} backend")
@@ -145,6 +270,61 @@ def cmd_machine(args) -> int:
         ok = same
     machine.close()
     return 0 if ok else 1
+
+
+def cmd_traj(args) -> int:
+    from repro.io import CorruptRecord, TrajectoryReader
+
+    try:
+        reader = TrajectoryReader(args.path)
+    except FileNotFoundError:
+        print(f"{args.path}: no such file", file=sys.stderr)
+        return 1
+    except CorruptRecord as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    with reader:
+        if args.action == "info":
+            dec = reader.decode
+            print(f"{args.path}: {len(reader)} frames "
+                  f"({'rebuilt index — torn tail dropped' if reader.index_rebuilt else 'clean index'})")
+            if len(reader):
+                steps = reader.steps
+                print(f"steps {steps[0]}..{steps[-1]}")
+            print(f"storage: {dec.get('storage', '?')}"
+                  + (f", {dec['position_bits']}-bit positions" if "position_bits" in dec else ""))
+            fp = reader.fingerprint
+            if fp:
+                print(f"fingerprint: {fp.get('n_atoms', '?')} atoms, mode {fp.get('mode', '?')}, "
+                      f"dt {fp.get('dt', '?')} fs, system {fp.get('system_hash', '?')[:12]}")
+            for key, value in sorted(reader.meta.items()):
+                print(f"meta.{key}: {value}")
+        elif args.action == "dump":
+            try:
+                frame = reader.frame(args.frame)
+            except IndexError as exc:
+                print(str(exc), file=sys.stderr)
+                return 1
+            pos = reader.positions(frame)
+            vel = reader.velocities(frame)
+            print(f"frame {args.frame}: step {frame.step}, t = {frame.time_fs:.1f} fs, "
+                  f"{len(pos)} atoms")
+            print(f"position extent: [{pos.min():.4f}, {pos.max():.4f}] A; "
+                  f"|v|_max {np.max(np.abs(vel)):.5f} A/fs")
+            for i in range(min(args.atoms, len(pos))):
+                print(f"  atom {i}: x = ({pos[i, 0]:12.6f}, {pos[i, 1]:12.6f}, {pos[i, 2]:12.6f})"
+                      f"  v = ({vel[i, 0]:9.6f}, {vel[i, 1]:9.6f}, {vel[i, 2]:9.6f})")
+        else:  # verify
+            report = reader.verify()
+            print(f"{args.path}: {report.n_frames} frames")
+            print(f"header: {'ok' if report.header_ok else 'BAD'}; "
+                  f"index: {'ok' if report.index_ok else 'missing'}; "
+                  f"tail: {'clean' if report.clean_tail else 'TORN'}")
+            for err in report.errors:
+                print(f"  {err}")
+            print("verify: PASS" if report.ok else "verify: FAIL")
+            return 0 if report.ok else 1
+    return 0
 
 
 def cmd_perf(args) -> int:
@@ -197,12 +377,14 @@ def main(argv: list[str] | None = None) -> int:
     sub = parser.add_subparsers(dest="command", required=True)
     _add_simulate(sub)
     _add_machine(sub)
+    _add_traj(sub)
     _add_perf(sub)
     sub.add_parser("info", help="version and experiment index")
     args = parser.parse_args(argv)
     return {
         "simulate": cmd_simulate,
         "machine": cmd_machine,
+        "traj": cmd_traj,
         "perf": cmd_perf,
         "info": cmd_info,
     }[args.command](args)

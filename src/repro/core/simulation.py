@@ -16,6 +16,7 @@ from repro.core.constraints import ConstraintSolver
 from repro.core.forces import ForceCalculator, MDParams, MTSForceProvider
 from repro.core.integrator import FixedPointConfig, FixedPointIntegrator, VelocityVerlet
 from repro.core.system import ChemicalSystem
+from repro.io import TrajectoryWriter, check_fingerprint, system_fingerprint
 
 __all__ = ["EnergyRecord", "Simulation", "minimize_energy"]
 
@@ -110,6 +111,7 @@ class Simulation:
         self.params = params
         self.dt = float(dt)
         self.mode = mode
+        self.fixed_config = fixed_config
         self.calc = ForceCalculator(system, params)
         solver = None
         if constraints and system.topology.n_constraints:
@@ -165,9 +167,23 @@ class Simulation:
         self.energy_log.append(rec)
         return rec
 
-    # -- running --------------------------------------------------------------
-
     # -- checkpointing ------------------------------------------------------
+
+    def fingerprint(self) -> dict:
+        """Run identity embedded in checkpoints/trajectories.
+
+        Validated on :meth:`restore`: atom count, hashed static system
+        arrays, force-parameter hash (minus the bitwise-irrelevant
+        neighbor-list skin), mode, dt, and — on the fixed path — the
+        integrator datapath widths.
+        """
+        return system_fingerprint(
+            self.system,
+            self.params,
+            self.mode,
+            self.dt,
+            self.fixed_config if self.mode == "fixed" else None,
+        )
 
     def checkpoint(self) -> dict:
         """Snapshot the exact dynamic state.
@@ -182,6 +198,7 @@ class Simulation:
             "dt": self.dt,
             "step_count": self.integrator.step_count,
             "provider_calls": self.provider.calls,
+            "fingerprint": self.fingerprint(),
         }
         if self.mode == "fixed":
             chk["X"], chk["V"] = self.integrator.state_codes()
@@ -204,6 +221,16 @@ class Simulation:
         """
         if chk["mode"] != self.mode or chk["dt"] != self.dt:
             raise ValueError("checkpoint is for a different mode or time step")
+        stored = chk.get("fingerprint")
+        if stored is not None:
+            check_fingerprint(stored, self.fingerprint(), what="checkpoint")
+        elif chk.get("X", chk.get("positions")) is not None and (
+            len(chk.get("X", chk.get("positions"))) != self.system.n_atoms
+        ):
+            raise ValueError(
+                f"checkpoint holds {len(chk.get('X', chk.get('positions')))} atoms, "
+                f"this simulation has {self.system.n_atoms}"
+            )
         integ = self.integrator
         if self.mode == "fixed":
             integ.X = chk["X"].copy()
@@ -220,25 +247,96 @@ class Simulation:
         else:
             integ._forces, integ.last_info = self.provider(integ.positions)
 
+    # -- trajectory output ---------------------------------------------------
+
+    def open_trajectory(self, path, meta: dict | None = None) -> TrajectoryWriter:
+        """A :class:`TrajectoryWriter` configured for this run.
+
+        The header carries the fingerprint plus the decode parameters
+        (datapath widths, box) a reader needs to reconstruct physical
+        positions/velocities bit-exactly without the system objects.
+        """
+        if self.mode == "fixed":
+            cfg = self.fixed_config
+            decode = {
+                "storage": "codes",
+                "position_bits": cfg.position_bits,
+                "box": [float(x) for x in self.system.box.lengths],
+                "velocity_bits": cfg.velocity_bits,
+                "velocity_limit": cfg.velocity_limit,
+            }
+        else:
+            decode = {
+                "storage": "float",
+                "box": [float(x) for x in self.system.box.lengths],
+            }
+        return TrajectoryWriter(path, fingerprint=self.fingerprint(),
+                                decode=decode, meta=meta)
+
+    def append_trajectory(self, path) -> TrajectoryWriter:
+        """Reopen ``path`` for resumed writing.
+
+        Frames past the current step (written by an interrupted run
+        after its last durable checkpoint) and any torn tail are
+        truncated, so the finished file is identical to one from an
+        uninterrupted run.
+        """
+        return TrajectoryWriter.append(
+            path, fingerprint=self.fingerprint(),
+            resume_step=self.integrator.step_count,
+        )
+
+    def write_frame(self, writer: TrajectoryWriter) -> None:
+        """Append the current exact state as one frame."""
+        if self.mode == "fixed":
+            X, V = self.integrator.state_codes()
+            arrays = {"X": X, "V": V}
+        else:
+            arrays = {
+                "positions": self.integrator.positions.copy(),
+                "velocities": self.integrator.velocities.copy(),
+            }
+        step = self.integrator.step_count
+        writer.write_frame(step, step * self.dt, arrays)
+
     def run(
         self,
         n_steps: int,
         record_every: int = 0,
         snapshot_every: int = 0,
+        energy_writer=None,
+        trajectory: TrajectoryWriter | None = None,
+        trajectory_every: int = 0,
+        checkpoint_store=None,
+        checkpoint_every: int = 0,
     ) -> list[EnergyRecord]:
         """Advance ``n_steps``; returns the records appended this call.
 
         ``record_every`` / ``snapshot_every`` of 0 disable logging.
         With MTS, meaningful total-energy records need ``record_every``
         to be a multiple of ``params.long_range_every``.
+
+        ``energy_writer`` streams each energy record as it is taken
+        (an :class:`~repro.io.EnergyLogWriter`).  ``trajectory`` /
+        ``checkpoint_store`` persist frames and rolling snapshots every
+        ``trajectory_every`` / ``checkpoint_every`` steps; their cadence
+        is keyed to the *global* step count, so a resumed run writes at
+        exactly the steps the uninterrupted run would have.
         """
         start = len(self.energy_log)
         for i in range(n_steps):
             self.integrator.step()
             done = i + 1
+            step = self.integrator.step_count
             if record_every and done % record_every == 0:
-                self.record_energy()
+                rec = self.record_energy()
+                if energy_writer is not None:
+                    energy_writer.write(rec)
             if snapshot_every and done % snapshot_every == 0:
                 self.snapshots.append(self.positions.copy())
-                self.snapshot_steps.append(self.integrator.step_count)
+                self.snapshot_steps.append(step)
+            if trajectory is not None and trajectory_every and step % trajectory_every == 0:
+                self.write_frame(trajectory)
+            if checkpoint_store is not None and checkpoint_every and step % checkpoint_every == 0:
+                checkpoint_store.save(self.checkpoint(), step)
         return self.energy_log[start:]

@@ -1,0 +1,46 @@
+"""Durable run store: bit-exact checkpoint/trajectory I/O.
+
+The paper's headline results are multi-month simulations that survive
+interruption and restart *bit-for-bit* (Section 4's determinism makes
+that meaningful; Table 1's runs make it necessary).  This package is
+the storage layer that realizes it in the reproduction:
+
+* :mod:`~repro.io.records` — CRC-protected binary record framing.
+* :mod:`~repro.io.serialize` — deterministic state serialization and
+  the system fingerprint validated on every restore.
+* :mod:`~repro.io.trajectory` — compact, random-access trajectory
+  files storing raw fixed-point state codes.
+* :mod:`~repro.io.checkpoint` — atomic checkpoint store with rolling
+  retention and corruption fallback.
+* :mod:`~repro.io.energylog` — streaming JSONL energy observables.
+"""
+
+from repro.io.checkpoint import CheckpointError, CheckpointStore, LoadedCheckpoint
+from repro.io.energylog import EnergyLogWriter, read_energy_log
+from repro.io.records import CorruptRecord
+from repro.io.serialize import (
+    FingerprintMismatch,
+    check_fingerprint,
+    pack_state,
+    system_fingerprint,
+    unpack_state,
+)
+from repro.io.trajectory import Frame, TrajectoryReader, TrajectoryWriter, VerifyReport
+
+__all__ = [
+    "CheckpointError",
+    "CheckpointStore",
+    "LoadedCheckpoint",
+    "EnergyLogWriter",
+    "read_energy_log",
+    "CorruptRecord",
+    "FingerprintMismatch",
+    "check_fingerprint",
+    "pack_state",
+    "system_fingerprint",
+    "unpack_state",
+    "Frame",
+    "TrajectoryReader",
+    "TrajectoryWriter",
+    "VerifyReport",
+]

@@ -1,0 +1,80 @@
+"""Streaming JSONL energy logs.
+
+Long runs should emit observables incrementally instead of holding
+them in memory: each :class:`~repro.core.simulation.EnergyRecord` is
+one JSON line, flushed as written, so a SIGKILL loses at most the
+record being written.  ``json.dumps`` serializes floats via ``repr``,
+which round-trips float64 exactly — the log is as bit-faithful as the
+binary formats.
+
+On resume the writer appends; an interrupted run may therefore leave
+overlapping step ranges (records the killed run logged past its last
+durable checkpoint, re-logged by the resumed run).  Since the resumed
+trajectory is bitwise the original, duplicates are identical;
+:func:`read_energy_log` deduplicates by step keeping the last
+occurrence and returns records sorted by step.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+__all__ = ["EnergyLogWriter", "read_energy_log"]
+
+_FIELDS = ("step", "time_fs", "kinetic", "potential", "temperature")
+
+
+class EnergyLogWriter:
+    """Appends energy records to a JSONL file, flushing each line."""
+
+    def __init__(self, path, append: bool = False):
+        self.path = os.fspath(path)
+        self._f = open(self.path, "a" if append else "w")
+
+    def write(self, record) -> None:
+        row = {name: getattr(record, name) for name in _FIELDS}
+        self._f.write(json.dumps(row) + "\n")
+        self._f.flush()
+
+    def close(self) -> None:
+        if not self._f.closed:
+            self._f.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+
+def read_energy_log(path) -> list:
+    """Load a JSONL energy log as :class:`EnergyRecord` objects.
+
+    Tolerates a torn final line (crash mid-write); overlapping step
+    ranges from interrupted-then-resumed runs collapse to one record
+    per step (last occurrence wins).
+    """
+    # Deferred import: repro.core.simulation imports repro.io at module
+    # load, so importing it here at module level would be circular.
+    from repro.core.simulation import EnergyRecord
+
+    by_step: dict[int, EnergyRecord] = {}
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn tail from a crash mid-write
+            rec = EnergyRecord(
+                step=int(row["step"]),
+                time_fs=float(row["time_fs"]),
+                kinetic=float(row["kinetic"]),
+                potential=float(row["potential"]),
+                temperature=float(row["temperature"]),
+            )
+            by_step[rec.step] = rec
+    return [by_step[s] for s in sorted(by_step)]

@@ -34,6 +34,7 @@ from repro.core.integrator import FixedPointConfig, FixedPointIntegrator
 from repro.core.system import ChemicalSystem
 from repro.fft import DistributedFFT3D
 from repro.fixedpoint import FixedAccumulator
+from repro.io import TrajectoryWriter, check_fingerprint, system_fingerprint
 from repro.machine.backends import MachineBackend, make_backend
 from repro.machine.config import ANTON_2008, AntonHardware
 from repro.machine.flexible import assign_bond_terms, correction_pairs_per_node
@@ -178,6 +179,7 @@ class AntonMachine:
         self.params = params
         self.hw = hw
         self.dt = float(dt)
+        self.fixed_config = fixed_config
         self.topology = TorusTopology.for_node_count(n_nodes)
         self.network = SimNetwork(self.topology)
         self.decomp = SpatialDecomposition(system.box, self.topology, subbox_divisions)
@@ -298,7 +300,74 @@ class AntonMachine:
                     with t.time("bond_reassign"):
                         self.reassign_bond_terms()
 
+    def run(
+        self,
+        n_steps: int,
+        trajectory: TrajectoryWriter | None = None,
+        trajectory_every: int = 0,
+        checkpoint_store=None,
+        checkpoint_every: int = 0,
+    ) -> None:
+        """Advance ``n_steps`` with durable-store hooks.
+
+        Frames and rolling snapshots are emitted every
+        ``trajectory_every`` / ``checkpoint_every`` steps of the
+        *global* step count, so a resumed run writes at exactly the
+        steps the uninterrupted run would have.  I/O time is charged
+        to the ``machine_io`` timer (it is not part of a machine step).
+        """
+        t = self.calc.timers
+        for _ in range(n_steps):
+            self.step()
+            step = self.integrator.step_count
+            if trajectory is not None and trajectory_every and step % trajectory_every == 0:
+                with t.time("machine_io"):
+                    self.write_frame(trajectory)
+            if checkpoint_store is not None and checkpoint_every and step % checkpoint_every == 0:
+                with t.time("machine_io"):
+                    checkpoint_store.save(self.checkpoint(), step)
+
+    # -- trajectory output ---------------------------------------------------
+
+    def open_trajectory(self, path, meta: dict | None = None) -> TrajectoryWriter:
+        """A :class:`TrajectoryWriter` configured for this machine."""
+        cfg = self.fixed_config
+        decode = {
+            "storage": "codes",
+            "position_bits": cfg.position_bits,
+            "box": [float(x) for x in self.system.box.lengths],
+            "velocity_bits": cfg.velocity_bits,
+            "velocity_limit": cfg.velocity_limit,
+        }
+        return TrajectoryWriter(path, fingerprint=self.fingerprint(),
+                                decode=decode, meta=meta)
+
+    def append_trajectory(self, path) -> TrajectoryWriter:
+        """Reopen ``path`` for resumed writing (truncates past-resume frames)."""
+        return TrajectoryWriter.append(
+            path, fingerprint=self.fingerprint(),
+            resume_step=self.integrator.step_count,
+        )
+
+    def write_frame(self, writer: TrajectoryWriter) -> None:
+        """Append the current exact machine state as one frame."""
+        X, V = self.integrator.state_codes()
+        step = self.integrator.step_count
+        writer.write_frame(step, step * self.dt, {"X": X, "V": V})
+
     # -- checkpointing -------------------------------------------------------
+
+    def fingerprint(self) -> dict:
+        """Run identity embedded in checkpoints/trajectories.
+
+        Node count, backend, and migration cadence are deliberately
+        absent: by parallel invariance they influence only traffic,
+        never the trajectory bits, so snapshots restore across any
+        machine configuration.
+        """
+        return system_fingerprint(
+            self.system, self.params, "machine", self.dt, self.fixed_config
+        )
 
     def checkpoint(self) -> dict:
         """Snapshot of the exact machine state (integer codes).
@@ -316,6 +385,8 @@ class AntonMachine:
             "owners": self.owners.copy(),
             "steps_since_migration": self.migration.steps_since_migration,
             "migration_step": self.migration._step,
+            "n_nodes": self.topology.n_nodes,
+            "fingerprint": self.fingerprint(),
         }
 
     def restore(self, chk: dict) -> None:
@@ -327,11 +398,21 @@ class AntonMachine:
         the same long-range schedule decision — so the continued
         trajectory is bitwise the uninterrupted one.
         """
+        stored = chk.get("fingerprint")
+        if stored is not None:
+            check_fingerprint(stored, self.fingerprint(), what="checkpoint")
         integ = self.integrator
         integ.X = chk["X"].copy()
         integ.V = chk["V"].copy()
         integ.step_count = int(chk["step_count"])
-        self.owners = chk["owners"].copy()
+        if int(chk.get("n_nodes", self.topology.n_nodes)) == self.topology.n_nodes:
+            self.owners = chk["owners"].copy()
+        else:
+            # Snapshot from a different machine configuration: its
+            # ownership map indexes another torus.  Reassign from the
+            # restored positions — placement affects only traffic,
+            # never the trajectory bits.
+            self.owners = self.migration.initialize(integ.positions)
         self.migration.owners = self.owners
         self.migration.steps_since_migration = int(chk["steps_since_migration"])
         self.migration._step = int(chk["migration_step"])

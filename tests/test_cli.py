@@ -54,3 +54,82 @@ class TestCLI:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestRunStoreCLI:
+    WATER = ["simulate", "--system", "water", "--waters", "24",
+             "--record-every", "4"]
+
+    def test_simulate_with_store_then_resume(self, capsys, tmp_path):
+        flags = self.WATER + [
+            "--checkpoint-dir", str(tmp_path / "ck"),
+            "--checkpoint-every", "4",
+            "--trajectory", str(tmp_path / "t.rrs"),
+            "--trajectory-every", "2",
+            "--energy-log", str(tmp_path / "e.jsonl"),
+        ]
+        assert main(flags + ["--steps", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "final checkpoint" in out
+
+        assert main(flags + ["--steps", "8", "--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "resumed from" in out and "at step 4" in out
+
+        from repro.io import TrajectoryReader, read_energy_log
+
+        with TrajectoryReader(tmp_path / "t.rrs") as r:
+            assert list(r.steps) == [2, 4, 6, 8]
+            assert r.verify().ok
+        assert [rec.step for rec in read_energy_log(tmp_path / "e.jsonl")] == [4, 8]
+
+    def test_resume_requires_checkpoint_dir(self):
+        with pytest.raises(SystemExit, match="--resume requires"):
+            main(self.WATER + ["--steps", "4", "--resume"])
+
+    def test_resume_empty_store_fails(self, tmp_path):
+        with pytest.raises(SystemExit, match="no valid checkpoint"):
+            main(self.WATER + ["--steps", "4", "--resume",
+                               "--checkpoint-dir", str(tmp_path / "ck")])
+
+    def test_machine_store_resume(self, capsys, tmp_path):
+        flags = ["machine", "--nodes", "4", "--waters", "16",
+                 "--checkpoint-dir", str(tmp_path / "ck"),
+                 "--checkpoint-every", "2"]
+        assert main(flags + ["--steps", "2"]) == 0
+        capsys.readouterr()
+        assert main(flags + ["--steps", "4", "--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "resumed from" in out and "at step 2" in out
+
+    def test_traj_info_dump_verify(self, capsys, tmp_path):
+        traj = tmp_path / "t.rrs"
+        assert main(self.WATER + ["--steps", "4", "--trajectory", str(traj),
+                                  "--trajectory-every", "2"]) == 0
+        capsys.readouterr()
+
+        assert main(["traj", "info", str(traj)]) == 0
+        out = capsys.readouterr().out
+        assert "2 frames" in out and "clean index" in out
+
+        assert main(["traj", "dump", str(traj), "--frame", "-1", "--atoms", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "step 4" in out and "atom 1" in out
+
+        assert main(["traj", "verify", str(traj)]) == 0
+        out = capsys.readouterr().out
+        assert "verify: PASS" in out
+
+    def test_traj_verify_flags_torn_file(self, capsys, tmp_path):
+        traj = tmp_path / "t.rrs"
+        assert main(self.WATER + ["--steps", "4", "--trajectory", str(traj),
+                                  "--trajectory-every", "2"]) == 0
+        capsys.readouterr()
+        traj.write_bytes(traj.read_bytes()[:-30])
+        assert main(["traj", "verify", str(traj)]) == 1
+        out = capsys.readouterr().out
+        assert "verify: FAIL" in out
+
+    def test_traj_missing_file(self, capsys, tmp_path):
+        assert main(["traj", "info", str(tmp_path / "nope.rrs")]) == 1
+        assert "no such file" in capsys.readouterr().err

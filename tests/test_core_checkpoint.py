@@ -77,3 +77,78 @@ class TestCheckpoint:
         resumed = Simulation(system.copy(), PARAMS, dt=1.0, mode="fixed")
         resumed.restore(chk)
         assert resumed.integrator.step_count == 6
+
+
+class TestFingerprintValidation:
+    """restore() rejects checkpoints from incompatible runs up front."""
+
+    def test_different_system_rejected(self, system):
+        from repro.io import FingerprintMismatch
+        from repro.systems import build_water_box
+
+        chk = Simulation(system.copy(), PARAMS, dt=1.0, mode="fixed").checkpoint()
+        other = build_water_box(n_molecules=27, seed=3)
+        target = Simulation(other, PARAMS, dt=1.0, mode="fixed")
+        with pytest.raises(FingerprintMismatch, match="n_atoms"):
+            target.restore(chk)
+
+    def test_different_force_params_rejected(self, system):
+        from repro.io import FingerprintMismatch
+
+        chk = Simulation(system.copy(), PARAMS, dt=1.0, mode="fixed").checkpoint()
+        other_params = MDParams(cutoff=4.0, mesh=(16, 16, 16), long_range_every=2)
+        target = Simulation(system.copy(), other_params, dt=1.0, mode="fixed")
+        with pytest.raises(FingerprintMismatch, match="params_hash"):
+            target.restore(chk)
+
+    def test_different_skin_accepted(self, system):
+        # The neighbor-list buffer radius does not influence bits, so a
+        # checkpoint restores (and continues bitwise) under another skin.
+        from dataclasses import replace
+
+        ref = Simulation(system.copy(), PARAMS, dt=1.0, mode="fixed")
+        ref.run(8)
+
+        first = Simulation(system.copy(), PARAMS, dt=1.0, mode="fixed")
+        first.run(4)
+        chk = first.checkpoint()
+        resumed = Simulation(
+            system.copy(), replace(PARAMS, skin=3.0), dt=1.0, mode="fixed"
+        )
+        resumed.restore(chk)
+        resumed.run(4)
+        for a, b in zip(resumed.integrator.state_codes(), ref.integrator.state_codes()):
+            np.testing.assert_array_equal(a, b)
+
+    def test_different_datapath_width_rejected(self, system):
+        from repro.core import FixedPointConfig
+        from repro.io import FingerprintMismatch
+
+        chk = Simulation(system.copy(), PARAMS, dt=1.0, mode="fixed").checkpoint()
+        target = Simulation(
+            system.copy(), PARAMS, dt=1.0, mode="fixed",
+            fixed_config=FixedPointConfig(position_bits=32),
+        )
+        with pytest.raises(FingerprintMismatch, match="position_bits"):
+            target.restore(chk)
+
+    def test_legacy_checkpoint_without_fingerprint(self, system):
+        # Pre-fingerprint checkpoints still restore (shape-checked only).
+        sim = Simulation(system.copy(), PARAMS, dt=1.0, mode="fixed")
+        sim.run(2)
+        chk = sim.checkpoint()
+        del chk["fingerprint"]
+        resumed = Simulation(system.copy(), PARAMS, dt=1.0, mode="fixed")
+        resumed.restore(chk)
+        assert resumed.integrator.step_count == 2
+
+    def test_legacy_checkpoint_wrong_atom_count_rejected(self, system):
+        from repro.systems import build_water_box
+
+        sim = Simulation(system.copy(), PARAMS, dt=1.0, mode="fixed")
+        chk = sim.checkpoint()
+        del chk["fingerprint"]
+        other = build_water_box(n_molecules=27, seed=3)
+        target = Simulation(other, PARAMS, dt=1.0, mode="fixed")
+        with pytest.raises(ValueError, match="atoms"):
+            target.restore(chk)

@@ -1,0 +1,112 @@
+"""Unit tests for the atomic, rolling checkpoint store."""
+
+import numpy as np
+import pytest
+
+from repro.io import (
+    CheckpointError,
+    CheckpointStore,
+    CorruptRecord,
+    FingerprintMismatch,
+)
+
+FP = {"version": 1, "n_atoms": 4, "mode": "fixed", "dt": 1.0}
+
+
+def make_state(step):
+    rng = np.random.default_rng(step)
+    return {
+        "step_count": step,
+        "X": rng.integers(0, 2**40, size=(4, 3)),
+        "fingerprint": dict(FP),
+    }
+
+
+class TestSaveLoad:
+    def test_round_trip(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save(make_state(10), 10)
+        loaded = store.load_latest()
+        assert loaded.step == 10
+        np.testing.assert_array_equal(loaded.state["X"], make_state(10)["X"])
+        assert loaded.skipped == []
+
+    def test_deterministic_bytes(self, tmp_path):
+        a = CheckpointStore(tmp_path / "a")
+        b = CheckpointStore(tmp_path / "b")
+        pa = a.save(make_state(5), 5)
+        pb = b.save(make_state(5), 5)
+        assert pa.read_bytes() == pb.read_bytes()
+
+    def test_retention_prunes_oldest(self, tmp_path):
+        store = CheckpointStore(tmp_path, retain=2)
+        for step in (1, 2, 3, 4):
+            store.save(make_state(step), step)
+        assert store.steps() == [3, 4]
+
+    def test_no_tmp_files_left(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        (tmp_path / ".tmp-999-000000000001").write_bytes(b"stale")
+        store.save(make_state(1), 1)
+        assert list(tmp_path.glob(".tmp-*")) == []
+
+    def test_empty_store_raises(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        with pytest.raises(CheckpointError):
+            store.load_latest()
+
+    def test_retain_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            CheckpointStore(tmp_path, retain=0)
+
+
+class TestCorruptionFallback:
+    def test_falls_back_to_newest_valid(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save(make_state(10), 10)
+        newest = store.save(make_state(20), 20)
+        # Tear the newest snapshot mid-state-record.
+        newest.write_bytes(newest.read_bytes()[:-20])
+        loaded = store.load_latest()
+        assert loaded.step == 10
+        assert len(loaded.skipped) == 1
+        assert loaded.skipped[0][0] == newest
+
+    def test_bit_flip_detected(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        path = store.save(make_state(10), 10)
+        raw = bytearray(path.read_bytes())
+        raw[len(raw) // 2] ^= 0x10
+        path.write_bytes(bytes(raw))
+        with pytest.raises(CheckpointError, match="corrupt"):
+            store.load_latest()
+
+    def test_non_checkpoint_file_skipped(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save(make_state(1), 1)
+        (tmp_path / "ckpt-000000000099.rrs").write_bytes(b"garbage")
+        loaded = store.load_latest()
+        assert loaded.step == 1
+        assert len(loaded.skipped) == 1
+
+    def test_load_single_corrupt_file(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        path = store.save(make_state(1), 1)
+        path.write_bytes(path.read_bytes()[:8])
+        with pytest.raises(CorruptRecord):
+            store.load(path)
+
+
+class TestFingerprintGate:
+    def test_matching_fingerprint_ok(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save(make_state(5), 5)
+        assert store.load_latest(fingerprint=dict(FP)).step == 5
+
+    def test_mismatch_is_hard_error(self, tmp_path):
+        # A *valid* snapshot from the wrong system must not be walked
+        # past — that would silently resume the wrong run.
+        store = CheckpointStore(tmp_path)
+        store.save(make_state(5), 5)
+        with pytest.raises(FingerprintMismatch, match="n_atoms"):
+            store.load_latest(fingerprint=dict(FP, n_atoms=8))

@@ -1,0 +1,49 @@
+"""Unit tests for the streaming JSONL energy log."""
+
+from repro.core.simulation import EnergyRecord
+from repro.io import EnergyLogWriter, read_energy_log
+
+
+def rec(step, e=1.0):
+    return EnergyRecord(step=step, time_fs=step * 2.5, kinetic=e,
+                        potential=-2 * e, temperature=300.0 + step)
+
+
+class TestEnergyLog:
+    def test_round_trip_exact_floats(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        records = [rec(1, 0.1 + 0.2), rec(2, 1e-300), rec(3, 12345.6789)]
+        with EnergyLogWriter(path) as w:
+            for r in records:
+                w.write(r)
+        assert read_energy_log(path) == records  # bit-exact float round-trip
+
+    def test_torn_final_line_tolerated(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        with EnergyLogWriter(path) as w:
+            w.write(rec(1))
+            w.write(rec(2))
+        raw = path.read_bytes()
+        path.write_bytes(raw[:-15])  # crash mid-write of the last line
+        assert [r.step for r in read_energy_log(path)] == [1]
+
+    def test_resume_overlap_deduplicated(self, tmp_path):
+        # Interrupted run logged steps 1-3, then a resume from step 2's
+        # checkpoint re-logs 3 and continues; read back is one record
+        # per step, last occurrence winning.
+        path = tmp_path / "e.jsonl"
+        with EnergyLogWriter(path) as w:
+            for s in (1, 2, 3):
+                w.write(rec(s))
+        with EnergyLogWriter(path, append=True) as w:
+            for s in (3, 4):
+                w.write(rec(s))
+        assert [r.step for r in read_energy_log(path)] == [1, 2, 3, 4]
+
+    def test_fresh_open_truncates(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        with EnergyLogWriter(path) as w:
+            w.write(rec(1))
+        with EnergyLogWriter(path) as w:
+            w.write(rec(9))
+        assert [r.step for r in read_energy_log(path)] == [9]

@@ -1,0 +1,98 @@
+"""Unit tests for the binary record framing layer."""
+
+import io
+
+import pytest
+
+from repro.io.records import (
+    REC_FRAME,
+    REC_HEADER,
+    TRAILER_SIZE,
+    CorruptRecord,
+    read_record,
+    read_record_at,
+    read_trailer,
+    scan_records,
+    write_record,
+    write_trailer,
+)
+
+
+class TestRecords:
+    def test_round_trip(self):
+        f = io.BytesIO()
+        off = write_record(f, REC_HEADER, b"hello")
+        assert off == 0
+        f.seek(0)
+        assert read_record(f) == (REC_HEADER, b"hello")
+
+    def test_clean_eof_raises_eoferror(self):
+        f = io.BytesIO()
+        write_record(f, REC_FRAME, b"x")
+        f.seek(0)
+        read_record(f)
+        with pytest.raises(EOFError):
+            read_record(f)
+
+    def test_torn_header_is_corrupt(self):
+        f = io.BytesIO()
+        write_record(f, REC_FRAME, b"payload")
+        raw = f.getvalue()
+        f = io.BytesIO(raw[:10])  # mid-header
+        with pytest.raises(CorruptRecord):
+            read_record(f)
+
+    def test_torn_payload_is_corrupt(self):
+        f = io.BytesIO()
+        write_record(f, REC_FRAME, b"payload-bytes")
+        raw = f.getvalue()
+        f = io.BytesIO(raw[:-4])
+        with pytest.raises(CorruptRecord, match="truncated payload"):
+            read_record(f)
+
+    def test_flipped_bit_fails_crc(self):
+        f = io.BytesIO()
+        write_record(f, REC_FRAME, b"payload-bytes")
+        raw = bytearray(f.getvalue())
+        raw[-3] ^= 0x40
+        with pytest.raises(CorruptRecord, match="CRC"):
+            read_record(io.BytesIO(bytes(raw)))
+
+    def test_bad_magic(self):
+        f = io.BytesIO(b"XXXX" + b"\0" * 30)
+        with pytest.raises(CorruptRecord, match="magic"):
+            read_record(f)
+
+    def test_scan_stops_at_torn_tail(self):
+        f = io.BytesIO()
+        write_record(f, REC_FRAME, b"one")
+        write_record(f, REC_FRAME, b"two")
+        end_intact = f.tell()
+        write_record(f, REC_FRAME, b"three")
+        raw = f.getvalue()[:-2]  # tear the last record
+        got = list(scan_records(io.BytesIO(raw)))
+        assert [p for _o, _e, _t, p in got] == [b"one", b"two"]
+        assert got[-1][1] == end_intact
+
+    def test_read_record_at(self):
+        f = io.BytesIO()
+        write_record(f, REC_FRAME, b"one")
+        off = write_record(f, REC_FRAME, b"two")
+        assert read_record_at(f, off) == (REC_FRAME, b"two")
+
+    def test_trailer_round_trip(self):
+        f = io.BytesIO()
+        write_record(f, REC_FRAME, b"data")
+        idx = write_record(f, REC_FRAME, b"index")
+        write_trailer(f, idx)
+        assert read_trailer(f) == idx
+
+    def test_trailer_absent_or_torn(self):
+        f = io.BytesIO()
+        write_record(f, REC_FRAME, b"data")
+        assert read_trailer(f) is None
+        write_trailer(f, 0)
+        raw = bytearray(f.getvalue())
+        raw[-1] ^= 0x01  # corrupt the trailer CRC
+        assert read_trailer(io.BytesIO(bytes(raw))) is None
+        assert len(raw) - len(raw[:-TRAILER_SIZE]) == TRAILER_SIZE
