@@ -38,6 +38,12 @@ from repro.core import (
     minimize_energy,
     run_npt,
 )
+from repro.fault import (
+    FaultEvent,
+    FaultSchedule,
+    RecoveryPolicy,
+    parse_fault_spec,
+)
 from repro.io import (
     CheckpointStore,
     EnergyLogWriter,
@@ -77,8 +83,12 @@ __all__ = [
     "minimize_energy",
     "CheckpointStore",
     "EnergyLogWriter",
+    "FaultEvent",
+    "FaultSchedule",
+    "RecoveryPolicy",
     "TrajectoryReader",
     "TrajectoryWriter",
+    "parse_fault_spec",
     "read_energy_log",
     "ANTON_2008",
     "AntonHardware",

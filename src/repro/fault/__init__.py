@@ -1,0 +1,76 @@
+"""Deterministic fault injection and self-healing recovery.
+
+Anton's fixed-point numerics make failures *detectable* and recovery
+*verifiable*: because a run's bits are a pure function of its initial
+state, any fault that is caught and repaired must leave the trajectory
+bit-for-bit identical to a fault-free run (Section 4's determinism
+argument turned into a testing weapon).  This package injects seeded,
+fully reproducible faults into the simulated machine and heals them:
+
+* :class:`FaultSchedule` — a pure function of ``(seed, rates, step)``
+  that emits message faults (drop / corrupt / duplicate / delay) and
+  node faults (stall / crash).  Same seed, same events — on any
+  backend, any node count, any process.
+* :class:`FaultyNetwork` — a :class:`~repro.parallel.comm.SimNetwork`
+  that keeps a per-step wire ledger of every charged message and
+  separates recovery traffic (retransmits, rollback replay) from the
+  primary statistics, so fault runs never inflate the paper's traffic
+  comparisons.
+* detection (:mod:`repro.fault.detect`) — per-message checksums and a
+  step-barrier audit that *discovers* the injected damage from the
+  wire image rather than peeking at the schedule, plus heartbeat
+  tracking for stalled/dead nodes.
+* :class:`RecoveryPolicy` / :class:`FaultController`
+  (:mod:`repro.fault.recovery`) — bounded retry-with-backoff for
+  transient message faults, and automatic rollback-and-replay from the
+  newest valid checkpoint (durable :class:`~repro.io.CheckpointStore`
+  or an in-memory snapshot ring) for crashed nodes.
+
+The acceptance bar is the paper's own: after any injected fault
+sequence, the recovered run's final int64 state codes are bit-identical
+to the fault-free run (``tests/integration/test_chaos.py``).
+"""
+
+from repro.fault.detect import (
+    Anomaly,
+    BarrierDetector,
+    HeartbeatBoard,
+    StepLedger,
+    WireImage,
+    message_checksums,
+)
+from repro.fault.inject import FaultyNetwork
+from repro.fault.recovery import (
+    FaultController,
+    MemorySnapshotStore,
+    RecoveryPolicy,
+    RollbackFailed,
+)
+from repro.fault.schedule import (
+    FAULT_KINDS,
+    MESSAGE_KINDS,
+    NODE_KINDS,
+    FaultEvent,
+    FaultSchedule,
+    parse_fault_spec,
+)
+
+__all__ = [
+    "Anomaly",
+    "BarrierDetector",
+    "FAULT_KINDS",
+    "FaultController",
+    "FaultEvent",
+    "FaultSchedule",
+    "FaultyNetwork",
+    "HeartbeatBoard",
+    "MESSAGE_KINDS",
+    "MemorySnapshotStore",
+    "NODE_KINDS",
+    "RecoveryPolicy",
+    "RollbackFailed",
+    "StepLedger",
+    "WireImage",
+    "message_checksums",
+    "parse_fault_spec",
+]

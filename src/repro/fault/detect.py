@@ -1,0 +1,205 @@
+"""Fault detection: per-message checksums and step-barrier audits.
+
+Detection never peeks at the fault schedule.  The sender side of every
+charged message is recorded in a per-step wire ledger; injection
+mutates only the *received image* (delivery flags, checksums, copy
+counts).  At the step barrier the :class:`BarrierDetector` audits the
+image against the ledger exactly the way real hardware would — missing
+sequence numbers, checksum mismatches, duplicate sequence numbers,
+late arrivals — so an injected fault that the detector fails to find
+is a test failure, not a silent pass.
+
+The ledger is canonically ordered (tags sorted, messages within a tag
+sorted by ``(src, dst, nbytes)``) before a victim is selected, so the
+identity of "the k-th message of step s" does not depend on whether
+the backend charged the step's traffic one ``send`` at a time or as
+one ``send_batch`` — the serial and vectorized machines damage, detect,
+and retransmit exactly the same wire bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Anomaly", "BarrierDetector", "StepLedger", "WireImage", "message_checksums"]
+
+_MASK = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+def message_checksums(
+    src: np.ndarray, dst: np.ndarray, nbytes: np.ndarray, step: int, seq: np.ndarray
+) -> np.ndarray:
+    """Vectorized per-message checksum over the modeled wire content.
+
+    A splitmix64-style mix of the message envelope plus its step and
+    per-step sequence number — the simulated stand-in for the CRC a
+    real link computes over the packet.
+    """
+    h = np.asarray(src, dtype=np.uint64) ^ np.uint64(0xC2B2AE3D27D4EB4F)
+    with np.errstate(over="ignore"):
+        for part in (dst, nbytes, np.uint64(step), seq):
+            h = (h + np.asarray(part, dtype=np.uint64)) & _MASK
+            h = ((h ^ (h >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)) & _MASK
+            h = h ^ (h >> np.uint64(31))
+    return h
+
+
+@dataclass
+class Anomaly:
+    """One detected wire fault, as seen at the step barrier."""
+
+    kind: str  # "missing" | "corrupt" | "duplicate" | "delayed"
+    tag: str
+    seq: int
+    src: int
+    dst: int
+    nbytes: int
+
+
+@dataclass
+class WireImage:
+    """Received side of one step's traffic, after fault injection.
+
+    Arrays are index-aligned with the canonical ledger order; a fresh
+    image (no faults) has every message delivered exactly once with the
+    checksum it was sent with.
+    """
+
+    checksums: np.ndarray  # uint64, as received
+    copies: np.ndarray  # int64 delivery count (0 = dropped, 2 = duplicated)
+    delayed: np.ndarray  # bool, arrived after the nominal window
+
+
+class StepLedger:
+    """Sender-side record of every primary message charged in one step."""
+
+    def __init__(self, step: int):
+        self.step = int(step)
+        self._tags: list[str] = []
+        self._src: list[np.ndarray] = []
+        self._dst: list[np.ndarray] = []
+        self._nbytes: list[np.ndarray] = []
+        self._canonical = None
+
+    def record(self, tag: str, src, dst, nbytes) -> None:
+        """Append charged messages (scalars or aligned arrays)."""
+        src = np.atleast_1d(np.asarray(src, dtype=np.int64))
+        if not len(src):
+            return
+        self._tags.append(tag)
+        self._src.append(src)
+        self._dst.append(np.broadcast_to(np.asarray(dst, dtype=np.int64), src.shape).copy())
+        self._nbytes.append(
+            np.broadcast_to(np.asarray(nbytes, dtype=np.int64), src.shape).copy()
+        )
+        self._canonical = None
+
+    @property
+    def n_messages(self) -> int:
+        return int(sum(len(s) for s in self._src))
+
+    def canonical(self):
+        """Canonically ordered ``(tag_ids, tags, src, dst, nbytes, checksums)``.
+
+        Tags are sorted by name and messages within a tag by
+        ``(src, dst, nbytes)``, making victim selection independent of
+        the charging order (loop of sends vs one batch).  Sequence
+        numbers are the canonical positions.
+        """
+        if self._canonical is not None:
+            return self._canonical
+        if not self._tags:
+            empty = np.zeros(0, dtype=np.int64)
+            self._canonical = (empty, [], empty, empty, empty, empty.astype(np.uint64))
+            return self._canonical
+        names = sorted(set(self._tags))
+        name_id = {t: k for k, t in enumerate(names)}
+        tag_ids = np.concatenate(
+            [np.full(len(s), name_id[t], dtype=np.int64) for t, s in zip(self._tags, self._src)]
+        )
+        src = np.concatenate(self._src)
+        dst = np.concatenate(self._dst)
+        nbytes = np.concatenate(self._nbytes)
+        order = np.lexsort((nbytes, dst, src, tag_ids))
+        tag_ids, src, dst, nbytes = tag_ids[order], src[order], dst[order], nbytes[order]
+        seq = np.arange(len(src), dtype=np.uint64)
+        sums = message_checksums(src, dst, nbytes, self.step, seq)
+        self._canonical = (tag_ids, names, src, dst, nbytes, sums)
+        return self._canonical
+
+    def fresh_image(self) -> WireImage:
+        """The fault-free received image of this step's traffic."""
+        _, _, _, _, _, sums = self.canonical()
+        n = len(sums)
+        return WireImage(
+            checksums=sums.copy(),
+            copies=np.ones(n, dtype=np.int64),
+            delayed=np.zeros(n, dtype=bool),
+        )
+
+
+class BarrierDetector:
+    """Audits a step's received image against its sender-side ledger."""
+
+    def scan(self, ledger: StepLedger, image: WireImage) -> list[Anomaly]:
+        """Every wire anomaly of one step, in canonical message order."""
+        tag_ids, names, src, dst, nbytes, sent = ledger.canonical()
+        out: list[Anomaly] = []
+
+        def emit(kind: str, where: np.ndarray) -> None:
+            for k in np.nonzero(where)[0]:
+                out.append(
+                    Anomaly(
+                        kind=kind,
+                        tag=names[tag_ids[k]],
+                        seq=int(k),
+                        src=int(src[k]),
+                        dst=int(dst[k]),
+                        nbytes=int(nbytes[k]),
+                    )
+                )
+
+        emit("missing", image.copies == 0)
+        emit("corrupt", (image.copies > 0) & (image.checksums != sent))
+        emit("duplicate", image.copies > 1)
+        emit("delayed", (image.copies > 0) & image.delayed)
+        return out
+
+
+@dataclass
+class HeartbeatBoard:
+    """Barrier heartbeat tracking for simulated nodes.
+
+    A stalled node misses its heartbeat for a bounded number of barrier
+    waits and then responds; a crashed node never responds.  The board
+    only records what the controller *observes* — the recovery policy
+    decides how long to wait before declaring a node dead.
+    """
+
+    #: node id -> remaining silent barrier waits (-1: silent forever).
+    silent: dict[int, int] = field(default_factory=dict)
+
+    def mark_stall(self, node: int, waits: int) -> None:
+        self.silent[node] = max(self.silent.get(node, 0), int(waits))
+
+    def mark_crash(self, node: int) -> None:
+        self.silent[node] = -1
+
+    def poll(self, node: int) -> bool:
+        """One barrier wait; True when the node's heartbeat arrived."""
+        left = self.silent.get(node, 0)
+        if left == 0:
+            return True
+        if left < 0:
+            return False
+        left -= 1
+        if left == 0:
+            del self.silent[node]
+        else:
+            self.silent[node] = left
+        return left == 0
+
+    def clear(self, node: int) -> None:
+        self.silent.pop(node, None)

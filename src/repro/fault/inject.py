@@ -1,0 +1,123 @@
+"""Fault injection into the simulated interconnect.
+
+:class:`FaultyNetwork` is a drop-in :class:`~repro.parallel.comm.SimNetwork`
+that (a) keeps a per-step :class:`~repro.fault.detect.StepLedger` of
+every primary message any backend charges, (b) applies a step's
+scheduled message faults to the *received image* of that ledger at the
+barrier, and (c) keeps recovery traffic out of the primary statistics:
+retransmissions ride the base class's separate retransmit counters, and
+whole replayed steps (after a rollback) are charged to a dedicated
+``recovery_stats`` by swapping the active stats object — so a fault
+run's primary counters are exactly a clean run's, which the chaos
+harness asserts.
+
+Physics never flows through the wire: the machine's payloads are
+simulator-internal, so injected damage is observable (checksums,
+counters, retries, rollbacks) but cannot corrupt state — corrupted
+*content* is modeled by the checksum mismatch that forces the
+retransmission which, on real hardware, restores the original bytes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fault.detect import StepLedger, WireImage
+from repro.fault.schedule import MESSAGE_KINDS, FaultEvent
+from repro.parallel.comm import NetworkStats, SimNetwork
+from repro.parallel.topology import TorusTopology
+
+__all__ = ["FaultyNetwork"]
+
+
+class FaultyNetwork(SimNetwork):
+    """A SimNetwork with a wire ledger, fault application, and split
+    primary/recovery accounting."""
+
+    def __init__(self, topology: TorusTopology):
+        super().__init__(topology)
+        #: Traffic charged while healing: retransmitted messages and
+        #: every message of a replayed (post-rollback) step.
+        self.recovery_stats = NetworkStats(topology.n_nodes)
+        self._primary_stats = self.stats
+        self._ledger: StepLedger | None = None
+
+    # -- stats routing -------------------------------------------------------
+
+    @property
+    def primary_stats(self) -> NetworkStats:
+        return self._primary_stats
+
+    @property
+    def in_recovery(self) -> bool:
+        return self.stats is self.recovery_stats
+
+    def set_recovery(self, active: bool) -> None:
+        """Route *all* subsequent charges (including direct ``stats``
+        mutations by the machine) to the recovery pool."""
+        self.stats = self.recovery_stats if active else self._primary_stats
+
+    def reset_stats(self) -> None:
+        recovering = self.in_recovery
+        self._primary_stats = NetworkStats(self.topology.n_nodes)
+        self.recovery_stats = NetworkStats(self.topology.n_nodes)
+        self.stats = self.recovery_stats if recovering else self._primary_stats
+
+    # -- wire ledger ---------------------------------------------------------
+
+    def begin_step(self, step: int) -> None:
+        """Start recording the wire ledger for ``step``."""
+        self._ledger = StepLedger(step)
+
+    def end_step(self) -> StepLedger | None:
+        """Stop recording; returns the step's ledger (None when idle)."""
+        ledger, self._ledger = self._ledger, None
+        return ledger
+
+    def send(self, src, dst, nbytes, tag, payload=None, retransmit=False):
+        super().send(src, dst, nbytes, tag, payload=payload, retransmit=retransmit)
+        if (
+            self._ledger is not None
+            and not retransmit
+            and not self.in_recovery
+            and src != dst
+        ):
+            self._ledger.record(tag, src, dst, nbytes)
+
+    def send_batch(self, src, dst, nbytes, tag, retransmit=False):
+        super().send_batch(src, dst, nbytes, tag, retransmit=retransmit)
+        if self._ledger is not None and not retransmit and not self.in_recovery:
+            src = np.asarray(src, dtype=np.int64)
+            dst = np.asarray(dst, dtype=np.int64)
+            nbytes = np.asarray(nbytes, dtype=np.int64)
+            remote = src != dst
+            if remote.any():
+                self._ledger.record(tag, src[remote], dst[remote], nbytes[remote])
+
+    # -- fault application ----------------------------------------------------
+
+    @staticmethod
+    def damage(ledger: StepLedger, events: list[FaultEvent]) -> WireImage:
+        """Apply a step's message faults to the fresh received image.
+
+        Victims are picked by ``event.index`` modulo the canonical
+        message count, so the same schedule wounds the same wire bytes
+        on every backend.
+        """
+        image = ledger.fresh_image()
+        n = len(image.copies)
+        if n == 0:
+            return image
+        for event in events:
+            if event.kind not in MESSAGE_KINDS:
+                continue
+            victim = event.index % n
+            if event.kind == "drop":
+                image.copies[victim] = 0
+            elif event.kind == "corrupt":
+                image.checksums[victim] ^= np.uint64(1) << np.uint64(event.index % 64)
+            elif event.kind == "duplicate":
+                image.copies[victim] += 1
+            elif event.kind == "delay":
+                image.delayed[victim] = True
+        return image

@@ -1,0 +1,220 @@
+"""Seeded, fully deterministic fault schedules.
+
+A :class:`FaultSchedule` decides *when* and *what* goes wrong.  The
+decisions are a pure function of ``(seed, rates, step)`` computed with
+a counter-based hash (splitmix64) — no stateful RNG stream is ever
+consumed, so the events for any step window can be queried in any
+order, from any process, on any execution backend, and always come out
+identical.  That purity is what the chaos harness leans on: the
+vectorized and serial machines see the very same faults, so their
+recovered trajectories can be compared bit-for-bit.
+
+Fault kinds
+-----------
+Message faults (per-step probability; victim selected by hashed index
+over the step's canonically ordered wire ledger):
+
+* ``drop``       — the message never arrives (barrier detects the gap).
+* ``corrupt``    — the payload image is damaged (checksum mismatch).
+* ``duplicate``  — a second copy arrives (sequence dedupe discards it).
+* ``delay``      — the message arrives late but inside the barrier.
+
+Node faults (float = per-step probability, int = exact count placed
+uniformly over the run window):
+
+* ``stall``      — a node misses heartbeats for ``persist + 1`` barrier
+  waits, then responds (detected by step-barrier timeout).
+* ``crash``      — a node dies mid-step; recovery rolls the machine
+  back to the newest valid checkpoint and replays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "FAULT_KINDS",
+    "MESSAGE_KINDS",
+    "NODE_KINDS",
+    "FaultEvent",
+    "FaultSchedule",
+    "parse_fault_spec",
+]
+
+MESSAGE_KINDS = ("drop", "corrupt", "duplicate", "delay")
+NODE_KINDS = ("stall", "crash")
+FAULT_KINDS = MESSAGE_KINDS + NODE_KINDS
+
+#: Kind index used in the hash stream (order is part of the contract:
+#: reordering this tuple would change every seeded schedule).
+_KIND_ID = {kind: k for k, kind in enumerate(FAULT_KINDS)}
+
+_MASK = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+def _splitmix64(x: np.ndarray) -> np.ndarray:
+    """The splitmix64 finalizer: a bijective uint64 mix (wrapping)."""
+    with np.errstate(over="ignore"):
+        x = (x + np.uint64(0x9E3779B97F4A7C15)) & _MASK
+        x = ((x ^ (x >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)) & _MASK
+        x = ((x ^ (x >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)) & _MASK
+        return x ^ (x >> np.uint64(31))
+
+
+def _hash_u64(seed: int, kind_id: int, step, slot: int) -> np.ndarray:
+    """Counter-based hash: uint64 of (seed, kind, step, slot), vectorized
+    over ``step``."""
+    step = np.asarray(step, dtype=np.uint64)
+    h = _splitmix64(np.uint64(seed & 0xFFFFFFFFFFFFFFFF) ^ np.uint64(0xA5A5A5A5A5A5A5A5))
+    h = _splitmix64(h ^ np.uint64(kind_id))
+    h = _splitmix64(h ^ step)
+    return _splitmix64(h ^ np.uint64(slot))
+
+
+def _hash_uniform(seed: int, kind_id: int, step, slot: int) -> np.ndarray:
+    """Uniform [0, 1) from the counter hash (53 mantissa bits)."""
+    return (_hash_u64(seed, kind_id, step, slot) >> np.uint64(11)) / float(1 << 53)
+
+
+@dataclass(frozen=True, order=True)
+class FaultEvent:
+    """One scheduled fault.
+
+    ``index`` is a raw hashed selector: for message kinds the victim is
+    ``index % n_messages`` of the step's canonically ordered ledger;
+    for node kinds the victim node is ``index % n_nodes``.  ``persist``
+    is how many *additional* consecutive delivery attempts also fail
+    (0: the first retry succeeds) — for node stalls, how many extra
+    barrier waits the node stays silent.
+    """
+
+    step: int
+    kind: str
+    index: int = 0
+    persist: int = 0
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}")
+        if self.step < 0 or self.index < 0 or self.persist < 0:
+            raise ValueError("step, index, and persist must be non-negative")
+
+
+def parse_fault_spec(spec: str) -> dict[str, float | int]:
+    """Parse a ``--faults`` spec like ``"drop=1e-3,crash=1"``.
+
+    Values with a decimal point or exponent are per-step probabilities;
+    bare integers are exact event counts placed uniformly over the run
+    window (the natural reading of ``crash=1``).
+    """
+    rates: dict[str, float | int] = {}
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if "=" not in part:
+            raise ValueError(f"bad fault spec item {part!r}; expected kind=value")
+        kind, _, value = part.partition("=")
+        kind = kind.strip()
+        if kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {kind!r}; expected one of {FAULT_KINDS}")
+        value = value.strip()
+        rates[kind] = int(value) if value.lstrip("+-").isdigit() else float(value)
+    return rates
+
+
+class FaultSchedule:
+    """Deterministic fault events from a seed, or an explicit list.
+
+    Parameters
+    ----------
+    seed:
+        Hash key for rate-driven events.
+    rates:
+        ``{kind: value}`` — float values are per-step probabilities
+        (at most one event of that kind per step), int values are exact
+        counts placed uniformly over the queried window.  Also accepts
+        a ``--faults``-style spec string.
+    events:
+        Explicit :class:`FaultEvent` list (merged with any rate-driven
+        events); the escape hatch for targeted tests.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        rates: dict[str, float | int] | str | None = None,
+        events: list[FaultEvent] | None = None,
+    ):
+        self.seed = int(seed)
+        if isinstance(rates, str):
+            rates = parse_fault_spec(rates)
+        self.rates = dict(rates or {})
+        for kind, value in self.rates.items():
+            if kind not in FAULT_KINDS:
+                raise ValueError(f"unknown fault kind {kind!r}")
+            if isinstance(value, float) and not 0.0 <= value <= 1.0:
+                raise ValueError(f"{kind} probability {value} outside [0, 1]")
+            if isinstance(value, int) and value < 0:
+                raise ValueError(f"{kind} count {value} must be >= 0")
+        self.explicit = sorted(events or [])
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultSchedule(seed={self.seed}, rates={self.rates!r}, "
+            f"explicit={len(self.explicit)})"
+        )
+
+    # -- event generation ---------------------------------------------------
+
+    def _rate_events(self, kind: str, rate: float, start: int, n_steps: int):
+        kid = _KIND_ID[kind]
+        steps = np.arange(start, start + n_steps, dtype=np.int64)
+        hit = _hash_uniform(self.seed, kid, steps, 0) < rate
+        return [
+            FaultEvent(
+                step=int(s),
+                kind=kind,
+                index=int(_hash_u64(self.seed, kid, int(s), 1)),
+            )
+            for s in steps[hit]
+        ]
+
+    def _count_events(self, kind: str, count: int, start: int, n_steps: int):
+        """Exactly ``count`` events placed uniformly (and distinctly when
+        possible) over the window, by probing the counter hash."""
+        kid = _KIND_ID[kind]
+        out, used = [], set()
+        for k in range(count):
+            for probe in range(64):
+                u = float(_hash_uniform(self.seed, kid, k, 2 + probe))
+                step = start + int(u * n_steps)
+                if step not in used or len(used) >= n_steps:
+                    break
+            used.add(step)
+            out.append(
+                FaultEvent(
+                    step=step,
+                    kind=kind,
+                    index=int(_hash_u64(self.seed, kid, k, 1)),
+                )
+            )
+        return out
+
+    def events(self, start: int, n_steps: int) -> list[FaultEvent]:
+        """All events with ``start <= step < start + n_steps``, sorted.
+
+        A pure function: the same ``(seed, rates, window)`` always
+        yields the same list, regardless of query order or process.
+        """
+        if n_steps <= 0:
+            return []
+        out = [e for e in self.explicit if start <= e.step < start + n_steps]
+        for kind, value in sorted(self.rates.items()):
+            if isinstance(value, int):
+                out.extend(self._count_events(kind, value, start, n_steps))
+            elif value > 0.0:
+                out.extend(self._rate_events(kind, value, start, n_steps))
+        return sorted(out)

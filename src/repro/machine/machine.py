@@ -32,6 +32,7 @@ from repro.core.constraints import ConstraintSolver
 from repro.core.forces import ForceCalculator, ForceReport, MDParams, MTSForceProvider
 from repro.core.integrator import FixedPointConfig, FixedPointIntegrator
 from repro.core.system import ChemicalSystem
+from repro.fault import FaultController, FaultSchedule, FaultyNetwork, RecoveryPolicy
 from repro.fft import DistributedFFT3D
 from repro.fixedpoint import FixedAccumulator
 from repro.io import TrajectoryWriter, check_fingerprint, system_fingerprint
@@ -156,6 +157,19 @@ class AntonMachine:
         Execution strategy: ``"serial"``, ``"vectorized"`` (default),
         ``"process"``, or a :class:`~repro.machine.backends.MachineBackend`
         instance.  State codes are bitwise identical across all of them.
+    faults:
+        Optional fault injection: a :class:`~repro.fault.FaultSchedule`,
+        a rates dict, or a ``--faults``-style spec string (e.g.
+        ``"drop=1e-3,crash=1"``).  Faults are injected, detected, and
+        healed inside :meth:`run`; by construction (and by the chaos
+        tests) the recovered trajectory is bit-identical to a fault-free
+        run.
+    fault_seed:
+        Hash key for rate-driven fault schedules (ignored when
+        ``faults`` is already a :class:`~repro.fault.FaultSchedule`).
+    recovery:
+        Optional :class:`~repro.fault.RecoveryPolicy` overriding the
+        default retry/backoff/snapshot knobs.
     """
 
     def __init__(
@@ -172,6 +186,9 @@ class AntonMachine:
         constraints: bool = True,
         hw: AntonHardware = ANTON_2008,
         backend="vectorized",
+        faults=None,
+        fault_seed: int = 0,
+        recovery: RecoveryPolicy | None = None,
     ):
         if params.quantize_mesh_bits is None:
             params = replace(params, quantize_mesh_bits=40)
@@ -181,7 +198,12 @@ class AntonMachine:
         self.dt = float(dt)
         self.fixed_config = fixed_config
         self.topology = TorusTopology.for_node_count(n_nodes)
-        self.network = SimNetwork(self.topology)
+        if faults is not None and not isinstance(faults, FaultSchedule):
+            faults = FaultSchedule(seed=fault_seed, rates=faults)
+        self.fault_schedule = faults
+        self.network = (
+            FaultyNetwork(self.topology) if faults is not None else SimNetwork(self.topology)
+        )
         self.decomp = SpatialDecomposition(system.box, self.topology, subbox_divisions)
         self.migration = MigrationSchedule(
             self.decomp, system.topology, interval=migration_interval
@@ -209,6 +231,11 @@ class AntonMachine:
             thermostat=thermostat,
             timers=self.calc.timers,
         )
+        self.fault_controller = None
+        if faults is not None:
+            self.fault_controller = FaultController(
+                faults, policy=recovery, timers=self.calc.timers
+            )
 
     def close(self) -> None:
         """Release backend resources (worker pools).  Idempotent."""
@@ -315,17 +342,44 @@ class AntonMachine:
         *global* step count, so a resumed run writes at exactly the
         steps the uninterrupted run would have.  I/O time is charged
         to the ``machine_io`` timer (it is not part of a machine step).
+
+        With fault injection armed (``faults=`` at construction), every
+        step is bracketed by the :class:`~repro.fault.FaultController`:
+        the wire ledger records the step's traffic, the barrier audit
+        detects and retries message faults, and a node crash rolls the
+        machine back to the newest valid checkpoint — ``checkpoint_store``
+        when given, else the controller's in-memory snapshot ring — and
+        replays deterministically.  Replayed steps charge their traffic
+        to the network's recovery pool and skip store writes that
+        already happened, so both the primary traffic statistics and
+        the on-disk artifacts of a healed run are exactly a clean run's.
         """
         t = self.calc.timers
-        for _ in range(n_steps):
+        fc = self.fault_controller
+        if fc is not None:
+            fc.start_run(self, n_steps)
+        target = self.integrator.step_count + n_steps
+        while self.integrator.step_count < target:
+            step = self.integrator.step_count + 1
+            if fc is not None:
+                fc.begin_step(self, step)
             self.step()
-            step = self.integrator.step_count
+            if fc is not None:
+                with t.time("machine_fault_barrier"):
+                    if fc.after_step(self, step):
+                        with t.time("machine_rollback"):
+                            fc.rollback(self, checkpoint_store)
+                        continue
+                if fc.io_done(step):
+                    continue
             if trajectory is not None and trajectory_every and step % trajectory_every == 0:
                 with t.time("machine_io"):
                     self.write_frame(trajectory)
             if checkpoint_store is not None and checkpoint_every and step % checkpoint_every == 0:
                 with t.time("machine_io"):
                     checkpoint_store.save(self.checkpoint(), step)
+            if fc is not None:
+                fc.maybe_snapshot(self, step, has_store=checkpoint_store is not None)
 
     # -- trajectory output ---------------------------------------------------
 
@@ -430,8 +484,37 @@ class AntonMachine:
         return self.integrator.state_codes()
 
     def traffic_summary(self) -> dict[str, tuple[int, int]]:
-        """(messages, bytes) per traffic class since construction."""
-        return dict(self.network.stats.by_tag)
+        """(messages, bytes) per traffic class since construction.
+
+        Primary traffic only: retransmissions and rollback-replay
+        traffic live in :meth:`recovery_traffic_summary`, so these
+        numbers match a fault-free run exactly (the Table 3 contract).
+        """
+        stats = self.network.stats
+        if isinstance(self.network, FaultyNetwork):
+            stats = self.network.primary_stats
+        return dict(stats.by_tag)
+
+    def recovery_traffic_summary(self) -> dict:
+        """Fault-recovery traffic: retransmits plus replayed-step charges.
+
+        Zero everywhere for machines built without ``faults=``.
+        """
+        if not isinstance(self.network, FaultyNetwork):
+            return {"retransmit": (0, 0), "replay": (0, 0)}
+        primary = self.network.primary_stats
+        replay = self.network.recovery_stats
+        return {
+            "retransmit": (primary.retransmit_messages, primary.retransmit_bytes),
+            "replay": (replay.messages, replay.bytes),
+            "retransmit_by_tag": dict(primary.by_tag_retransmit),
+        }
+
+    def fault_report(self) -> dict[str, int]:
+        """Fault/retry/rollback counters (empty without injection)."""
+        if self.fault_controller is None:
+            return {}
+        return self.fault_controller.report()
 
     def messages_per_node_per_step(self) -> float:
         steps = max(self.integrator.step_count, 1)
@@ -476,12 +559,19 @@ class AntonMachine:
 
         phases = t.tree("machine_step")
         covered = sum(entry["seconds"] for entry in phases.values())
-        return {
+        out = {
             "steps": self.integrator.step_count,
             "wall_per_step": total / steps,
             "coverage": covered / total if total > 0.0 else 0.0,
             "phases": scale(phases),
         }
+        if self.fault_controller is not None:
+            out["faults"] = self.fault_report()
+            out["recovery_traffic"] = {
+                k: list(v) if isinstance(v, tuple) else v
+                for k, v in self.recovery_traffic_summary().items()
+            }
+        return out
 
     def engine_seconds(self) -> float:
         """Cumulative machine-bookkeeping time (the backend-sensitive part).

@@ -15,6 +15,12 @@ one message (and optionally carries a payload), while
 with bincount reductions — the same statistics a loop of ``send`` calls
 would produce, without the per-message Python overhead.  Per-node
 counters are int64 arrays indexed by node id.
+
+Retransmissions (fault recovery, see :mod:`repro.fault`) are charged
+with ``retransmit=True`` and land in separate ``retransmit_*`` /
+``by_tag_retransmit`` counters: the primary statistics stay exactly
+those of a fault-free run, so a fault-injected run never inflates the
+paper's Table 3 traffic comparison.
 """
 
 from __future__ import annotations
@@ -41,10 +47,21 @@ class NetworkStats:
         self.per_node_messages = np.zeros(n_nodes, dtype=np.int64)
         self.per_node_bytes = np.zeros(n_nodes, dtype=np.int64)
         self.by_tag: dict[str, tuple[int, int]] = {}
+        # Fault-recovery retransmissions, accounted apart from the
+        # primary counters above (which must match a fault-free run).
+        self.retransmit_messages = 0
+        self.retransmit_bytes = 0
+        self.by_tag_retransmit: dict[str, tuple[int, int]] = {}
 
     def charge_tag(self, tag: str, messages: int, nbytes: int) -> None:
         m, b = self.by_tag.get(tag, (0, 0))
         self.by_tag[tag] = (m + int(messages), b + int(nbytes))
+
+    def charge_retransmit(self, tag: str, messages: int, nbytes: int) -> None:
+        self.retransmit_messages += int(messages)
+        self.retransmit_bytes += int(nbytes)
+        m, b = self.by_tag_retransmit.get(tag, (0, 0))
+        self.by_tag_retransmit[tag] = (m + int(messages), b + int(nbytes))
 
     def max_node_messages(self) -> int:
         return int(self.per_node_messages.max(initial=0))
@@ -69,13 +86,23 @@ class SimNetwork:
     def reset_stats(self) -> None:
         self.stats = NetworkStats(self.topology.n_nodes)
 
-    def send(self, src: int, dst: int, nbytes: int, tag: str, payload=None) -> None:
-        """Send one message; local (src == dst) transfers are free."""
+    def send(
+        self, src: int, dst: int, nbytes: int, tag: str, payload=None, retransmit: bool = False
+    ) -> None:
+        """Send one message; local (src == dst) transfers are free.
+
+        ``retransmit=True`` marks a fault-recovery resend: it is
+        counted in the separate retransmit counters so the primary
+        statistics keep matching a fault-free run.
+        """
         if src == dst:
             if payload is not None:
                 self._mailboxes.setdefault((dst, tag), []).append(payload)
             return
         s = self.stats
+        if retransmit:
+            s.charge_retransmit(tag, 1, nbytes)
+            return
         s.messages += 1
         s.bytes += int(nbytes)
         s.hop_bytes += int(nbytes) * self.topology.hop_distance(src, dst)
@@ -85,13 +112,22 @@ class SimNetwork:
         if payload is not None:
             self._mailboxes.setdefault((dst, tag), []).append(payload)
 
-    def send_batch(self, src: np.ndarray, dst: np.ndarray, nbytes: np.ndarray, tag: str) -> None:
+    def send_batch(
+        self,
+        src: np.ndarray,
+        dst: np.ndarray,
+        nbytes: np.ndarray,
+        tag: str,
+        retransmit: bool = False,
+    ) -> None:
         """Charge an array of messages in one call (no payloads).
 
         Produces exactly the statistics of ``send(src[k], dst[k],
         nbytes[k], tag)`` over all ``k`` — local routes are free, hop
         weighting uses the torus metric — but reduces with bincounts
-        instead of a Python loop per message.
+        instead of a Python loop per message.  ``retransmit=True``
+        charges the whole batch to the retransmit counters instead of
+        the primary ones.
         """
         src = np.asarray(src, dtype=np.int64)
         dst = np.asarray(dst, dtype=np.int64)
@@ -103,6 +139,9 @@ class SimNetwork:
             return
         s = self.stats
         total = int(np.sum(nbytes))
+        if retransmit:
+            s.charge_retransmit(tag, len(src), total)
+            return
         s.messages += len(src)
         s.bytes += total
         s.hop_bytes += int(np.sum(nbytes * self.topology.hop_distances(src, dst)))

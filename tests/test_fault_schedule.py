@@ -1,0 +1,95 @@
+"""Unit tests for the deterministic fault schedule."""
+
+import pytest
+
+from repro.fault import FAULT_KINDS, FaultEvent, FaultSchedule, parse_fault_spec
+
+
+class TestParseFaultSpec:
+    def test_mixed_spec(self):
+        rates = parse_fault_spec("drop=1e-3,crash=1")
+        assert rates == {"drop": 1e-3, "crash": 1}
+        assert isinstance(rates["drop"], float)
+        assert isinstance(rates["crash"], int)
+
+    def test_whitespace_and_trailing_comma(self):
+        assert parse_fault_spec(" drop = 0.5 , stall=2, ") == {"drop": 0.5, "stall": 2}
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            parse_fault_spec("meteor=1")
+
+    def test_malformed_item_rejected(self):
+        with pytest.raises(ValueError, match="expected kind=value"):
+            parse_fault_spec("drop")
+
+
+class TestFaultEvent:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultEvent(step=1, kind="nonsense")
+        with pytest.raises(ValueError):
+            FaultEvent(step=-1, kind="drop")
+
+    def test_ordering_by_step(self):
+        events = [FaultEvent(step=5, kind="drop"), FaultEvent(step=1, kind="crash")]
+        assert sorted(events)[0].step == 1
+
+
+class TestFaultSchedule:
+    def test_same_seed_same_events(self):
+        rates = {"drop": 0.3, "corrupt": 0.1, "crash": 2}
+        a = FaultSchedule(seed=42, rates=rates).events(0, 200)
+        b = FaultSchedule(seed=42, rates=rates).events(0, 200)
+        assert a == b and len(a) > 0
+
+    def test_different_seed_different_events(self):
+        rates = {"drop": 0.3}
+        a = FaultSchedule(seed=1, rates=rates).events(0, 500)
+        b = FaultSchedule(seed=2, rates=rates).events(0, 500)
+        assert a != b
+
+    def test_window_decomposition(self):
+        # Pure counter-based hashing: querying [0, 100) must equal the
+        # concatenation of [0, 40) and [40, 60) — no RNG stream state.
+        sched = FaultSchedule(seed=9, rates={"drop": 0.25, "delay": 0.25})
+        whole = sched.events(0, 100)
+        split = sched.events(0, 40) + sched.events(40, 60)
+        assert whole == sorted(split)
+
+    def test_integer_count_places_exactly_n(self):
+        events = FaultSchedule(seed=3, rates={"crash": 3}).events(10, 50)
+        assert len(events) == 3
+        assert all(e.kind == "crash" and 10 <= e.step < 60 for e in events)
+        assert len({e.step for e in events}) == 3  # distinct steps
+
+    def test_rate_roughly_matches_probability(self):
+        events = FaultSchedule(seed=0, rates={"drop": 0.2}).events(0, 5000)
+        assert 800 <= len(events) <= 1200  # 1000 expected
+
+    def test_explicit_events_windowed(self):
+        explicit = [FaultEvent(step=5, kind="drop"), FaultEvent(step=50, kind="crash")]
+        sched = FaultSchedule(events=explicit)
+        assert sched.events(0, 10) == [explicit[0]]
+        assert sched.events(0, 100) == explicit
+
+    def test_spec_string_accepted(self):
+        sched = FaultSchedule(seed=7, rates="drop=0.5,crash=1")
+        assert sched.rates == {"drop": 0.5, "crash": 1}
+
+    def test_all_kinds_generate(self):
+        rates = {k: 0.5 for k in FAULT_KINDS if k != "crash"}
+        rates["crash"] = 1
+        kinds = {e.kind for e in FaultSchedule(seed=5, rates=rates).events(0, 50)}
+        assert kinds == set(FAULT_KINDS)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultSchedule(rates={"drop": 1.5})
+        with pytest.raises(ValueError):
+            FaultSchedule(rates={"crash": -1})
+        with pytest.raises(ValueError):
+            FaultSchedule(rates={"meteor": 0.1})
+
+    def test_empty_window(self):
+        assert FaultSchedule(seed=1, rates={"drop": 1.0}).events(0, 0) == []

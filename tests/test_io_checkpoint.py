@@ -60,6 +60,42 @@ class TestSaveLoad:
             CheckpointStore(tmp_path, retain=0)
 
 
+class TestRetainUnderRollbackLoops:
+    """Pruning during rapid save/restore cycles — the fault-recovery
+    access pattern — must never consume the snapshot being restored."""
+
+    def test_load_latest_does_not_consume(self, tmp_path):
+        store = CheckpointStore(tmp_path, retain=1)
+        store.save(make_state(4), 4)
+        for _ in range(5):  # back-to-back rollbacks from the same snapshot
+            assert store.load_latest().step == 4
+        assert store.steps() == [4]
+
+    def test_rapid_rollback_loop_retain_one(self, tmp_path):
+        # Simulated crash loop: every recovered step checkpoints, then
+        # crashes again.  With retain=1 each save prunes the previous
+        # snapshot, but the newest must always be restorable.
+        store = CheckpointStore(tmp_path, retain=1)
+        store.save(make_state(1), 1)
+        for step in (2, 3, 4, 5):
+            loaded = store.load_latest()
+            assert loaded.step == step - 1  # restore point still there
+            store.save(make_state(step), step)  # replayed step re-checkpoints
+            assert store.steps() == [step]
+        assert store.load_latest().step == 5
+
+    def test_resave_restored_step_after_rollback(self, tmp_path):
+        # A replayed step may re-save the very step of the snapshot it
+        # restored from; the overwrite must be atomic and readable.
+        store = CheckpointStore(tmp_path, retain=2)
+        store.save(make_state(4), 4)
+        restored = store.load_latest()
+        store.save(restored.state, restored.step)
+        assert store.steps() == [4]
+        loaded = store.load_latest()
+        np.testing.assert_array_equal(loaded.state["X"], make_state(4)["X"])
+
+
 class TestCorruptionFallback:
     def test_falls_back_to_newest_valid(self, tmp_path):
         store = CheckpointStore(tmp_path)

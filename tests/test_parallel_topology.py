@@ -113,6 +113,63 @@ class TestSimNetwork:
         assert net.stats.messages == 0
 
 
+class TestRetransmitAccounting:
+    """Retransmissions are charged separately so fault recovery cannot
+    inflate the primary counters the Table 3 comparison reads."""
+
+    def test_send_retransmit_leaves_primary_untouched(self):
+        net = SimNetwork(TorusTopology.cubic(4))
+        net.send(0, 1, 100, tag="a")
+        net.send(0, 1, 100, tag="a", retransmit=True)
+        net.send(0, 1, 100, tag="a", retransmit=True)
+        assert net.stats.messages == 1
+        assert net.stats.bytes == 100
+        assert net.stats.by_tag["a"] == (1, 100)
+        assert net.stats.retransmit_messages == 2
+        assert net.stats.retransmit_bytes == 200
+        assert net.stats.by_tag_retransmit["a"] == (2, 200)
+
+    def test_send_batch_retransmit_leaves_primary_untouched(self):
+        topo = TorusTopology.cubic(4)
+        net = SimNetwork(topo)
+        rng = np.random.default_rng(3)
+        src = rng.integers(0, topo.n_nodes, 50)
+        dst = rng.integers(0, topo.n_nodes, 50)
+        nbytes = rng.integers(1, 200, 50)
+        net.send_batch(src, dst, nbytes, tag="t")
+        primary = (net.stats.messages, net.stats.bytes, dict(net.stats.by_tag))
+        net.send_batch(src, dst, nbytes, tag="t", retransmit=True)
+        assert (net.stats.messages, net.stats.bytes, dict(net.stats.by_tag)) == primary
+        assert net.stats.retransmit_messages == net.stats.messages
+        assert net.stats.retransmit_bytes == net.stats.bytes
+
+    def test_batch_retransmit_matches_send_loop(self):
+        topo = TorusTopology.cubic(4)
+        loop, batch = SimNetwork(topo), SimNetwork(topo)
+        rng = np.random.default_rng(7)
+        src = rng.integers(0, topo.n_nodes, 100)
+        dst = rng.integers(0, topo.n_nodes, 100)
+        nbytes = rng.integers(1, 300, 100)
+        for s, d, b in zip(src, dst, nbytes):
+            loop.send(int(s), int(d), int(b), tag="t", retransmit=True)
+        batch.send_batch(src, dst, nbytes, tag="t", retransmit=True)
+        assert batch.stats.retransmit_messages == loop.stats.retransmit_messages
+        assert batch.stats.retransmit_bytes == loop.stats.retransmit_bytes
+        assert batch.stats.by_tag_retransmit == loop.stats.by_tag_retransmit
+
+    def test_local_retransmit_free(self):
+        net = SimNetwork(TorusTopology.cubic(2))
+        net.send(3, 3, 1000, tag="t", retransmit=True)
+        assert net.stats.retransmit_messages == 0
+
+    def test_reset_clears_retransmit_counters(self):
+        net = SimNetwork(TorusTopology.cubic(2))
+        net.send(0, 1, 100, tag="t", retransmit=True)
+        net.reset_stats()
+        assert net.stats.retransmit_messages == 0
+        assert net.stats.by_tag_retransmit == {}
+
+
 class TestVectorizedTopologyOps:
     def test_coords_of_matches_coord(self):
         topo = TorusTopology((4, 2, 8))
