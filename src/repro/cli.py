@@ -76,6 +76,11 @@ def _add_machine(sub) -> None:
                    default="vectorized",
                    help="execution backend (state codes are bitwise "
                         "identical across all of them)")
+    p.add_argument("--kernel-tier", choices=("numpy", "compiled"), default=None,
+                   help="hot-loop kernel tier: 'compiled' builds a small C "
+                        "extension on first use (bitwise identical to numpy; "
+                        "falls back with a warning if no C compiler is found); "
+                        "default: $REPRO_KERNEL_TIER or numpy")
     p.add_argument("--timings", action="store_true",
                    help="print per-phase machine engine timings after the run")
     p.add_argument("--profile", action="store_true",
@@ -246,7 +251,7 @@ def cmd_machine(args) -> int:
         )
     machine = AntonMachine(
         base.copy(), params, n_nodes=args.nodes, dt=1.0, backend=args.backend,
-        **fault_kwargs,
+        kernel_tier=args.kernel_tier, **fault_kwargs,
     )
     steps = args.steps
     if loaded is not None:

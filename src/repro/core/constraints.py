@@ -12,6 +12,11 @@ that gives classic SHAKE its fast linear convergence.  The coloring is
 deterministic (greedy in constraint order), so results are bitwise
 reproducible and independent of how constraint groups are distributed
 over simulated nodes.
+
+With a compiled kernel suite (``kernels=`` from :mod:`repro.kernels`),
+the sweeps run in C over the same flattened batch order with the same
+operation ordering — bitwise identical, without the per-iteration
+Python/NumPy dispatch that dominates at rigid-water batch sizes.
 """
 
 from __future__ import annotations
@@ -53,7 +58,14 @@ class ConstraintSolver:
         reach 1e-12 well inside the default.
     """
 
-    def __init__(self, topology: Topology, masses: np.ndarray, box: Box, iterations: int = 40):
+    def __init__(
+        self,
+        topology: Topology,
+        masses: np.ndarray,
+        box: Box,
+        iterations: int = 40,
+        kernels=None,
+    ):
         topology.compile()
         self.idx = topology.constraint_idx
         self.dist = topology.constraint_dist
@@ -68,6 +80,8 @@ class ConstraintSolver:
             if np.any(self.inv_mass[i] + self.inv_mass[j] == 0):
                 raise ValueError("constraint between two massless atoms")
         self.batches = _color_constraints(self.idx)
+        self.kernels = kernels
+        self._c_arrays = None
 
     @property
     def n_constraints(self) -> int:
@@ -77,6 +91,42 @@ class ConstraintSolver:
     def n_colors(self) -> int:
         return len(self.batches)
 
+    # -- compiled-tier support -------------------------------------------
+
+    def _compiled_arrays(self):
+        """Flattened, C-contiguous constraint data for the C sweeps.
+
+        Built once: constraint endpoints, squared target distances,
+        inverse masses, box lengths, the coloring flattened to a single
+        ``order`` array with batch prefix ``starts``, plus persistent
+        scratch for the reference/current displacement tables — so
+        steady-state constraint solves allocate nothing.
+        """
+        if not self.n_constraints:
+            return None
+        if self._c_arrays is None:
+            ncon = self.n_constraints
+            order = np.ascontiguousarray(np.concatenate(self.batches))
+            starts = np.zeros(len(self.batches) + 1, dtype=np.int64)
+            np.cumsum([len(b) for b in self.batches], out=starts[1:])
+            self._c_arrays = (
+                np.ascontiguousarray(self.idx[:, 0], dtype=np.int64),
+                np.ascontiguousarray(self.idx[:, 1], dtype=np.int64),
+                np.ascontiguousarray(self.dist**2, dtype=np.float64),
+                np.ascontiguousarray(self.inv_mass, dtype=np.float64),
+                np.ascontiguousarray(self.box.lengths, dtype=np.float64),
+                order,
+                starts,
+                np.empty((ncon, 3), dtype=np.float64),  # dref scratch
+                np.empty((ncon, 3), dtype=np.float64),  # dx_all scratch
+                np.empty(ncon, dtype=np.float64),  # d2_all scratch
+            )
+        return self._c_arrays
+
+    @staticmethod
+    def _c_ready(a: np.ndarray) -> bool:
+        return a.dtype == np.float64 and a.flags["C_CONTIGUOUS"]
+
     def shake(
         self, positions: np.ndarray, reference: np.ndarray, tol: float = 1e-10
     ) -> np.ndarray:
@@ -85,6 +135,16 @@ class ConstraintSolver:
         ``reference`` supplies the pre-drift constraint directions, as
         in classic SHAKE.
         """
+        if not self.n_constraints:
+            return positions
+        k = self.kernels
+        if k is not None and k.tier == "compiled" and self._c_ready(positions):
+            return k.shake(self, positions, reference, tol)
+        return self._shake_numpy(positions, reference, tol)
+
+    def _shake_numpy(
+        self, positions: np.ndarray, reference: np.ndarray, tol: float = 1e-10
+    ) -> np.ndarray:
         if not self.n_constraints:
             return positions
         all_i, all_j = self.idx[:, 0], self.idx[:, 1]
@@ -111,6 +171,16 @@ class ConstraintSolver:
 
     def rattle(self, velocities: np.ndarray, positions: np.ndarray, tol: float = 1e-12) -> np.ndarray:
         """Remove velocity components along constraints (in place)."""
+        if not self.n_constraints:
+            return velocities
+        k = self.kernels
+        if k is not None and k.tier == "compiled" and self._c_ready(velocities):
+            return k.rattle(self, velocities, positions, tol)
+        return self._rattle_numpy(velocities, positions, tol)
+
+    def _rattle_numpy(
+        self, velocities: np.ndarray, positions: np.ndarray, tol: float = 1e-12
+    ) -> np.ndarray:
         if not self.n_constraints:
             return velocities
         all_i, all_j = self.idx[:, 0], self.idx[:, 1]

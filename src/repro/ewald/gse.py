@@ -158,8 +158,15 @@ class MeshStencilPlan:
 
     # -- construction ------------------------------------------------------
 
-    def build(self, positions: np.ndarray) -> "MeshStencilPlan":
-        """Fill the plan for ``positions`` (row i of every array is atom i)."""
+    def build(self, positions: np.ndarray, kernels=None) -> "MeshStencilPlan":
+        """Fill the plan for ``positions`` (row i of every array is atom i).
+
+        With a compiled kernel suite, the heavy cube fill (weight outer
+        product, r² mask, flattened indices — the only O(n·k³) work)
+        runs as one fused C pass per chunk; the small per-axis arrays
+        (``np.exp`` weights, displacements, wrapped indices) stay in
+        NumPy, which keeps the bits trivially identical.
+        """
         g = self.gse
         p = g.params
         kx, ky, kz = self.shape
@@ -170,7 +177,14 @@ class MeshStencilPlan:
         positions = g.box.wrap(np.asarray(positions, dtype=np.float64))
         offs = [np.arange(-c, c + 1) for c in g._offsets]
         flat4 = self.flat.reshape(self.n, kx, ky, kz)
-        scratch = np.empty((min(_PLAN_BUILD_CHUNK, self.n), kx, ky, kz))
+        use_c = (
+            kernels is not None
+            and kernels.tier == "compiled"
+            and self.flat.dtype == np.int32
+        )
+        scratch = None
+        if not use_c:
+            scratch = np.empty((min(_PLAN_BUILD_CHUNK, self.n), kx, ky, kz))
         for lo in range(0, self.n, _PLAN_BUILD_CHUNK):
             hi = min(lo + _PLAN_BUILD_CHUNK, self.n)
             pos = positions[lo:hi]
@@ -183,6 +197,15 @@ class MeshStencilPlan:
                 axis_d.append(disp)
                 axis_w.append(np.exp(-(disp * disp) * inv_2ss2))
                 axis_i.append(np.mod(cells, g.mesh[a]).astype(self.flat.dtype))
+            if use_c:
+                kernels.mesh_plan_block(
+                    axis_w[0] * norm, axis_w[1], axis_w[2],
+                    axis_d[0], axis_d[1], axis_d[2],
+                    axis_i[0], axis_i[1], axis_i[2],
+                    mesh[1], mesh[2], c2,
+                    self.w[lo:hi], flat4[lo:hi],
+                )
+                continue
             # Weights: two outer products, the big one written in place
             # (einsum's specialized outer loop beats the stride-0
             # broadcast multiply; each element is the same single
@@ -215,7 +238,7 @@ class MeshStencilPlan:
 
     def spread_codes(
         self, charges: np.ndarray, mesh_acc: np.ndarray, codec,
-        rows=None, chunk: int = _KERNEL_CHUNK,
+        rows=None, chunk: int = _KERNEL_CHUNK, kernels=None,
     ) -> None:
         """Quantize and scatter ``w · q`` into the flat int64 mesh.
 
@@ -235,6 +258,12 @@ class MeshStencilPlan:
         k = w2.shape[1]
         n_rows = self.n if rows is None else len(rows)
         if n_rows == 0:
+            return
+        if kernels is not None and kernels.tier == "compiled" and rows is None:
+            # One C pass: rint(w * qc) scattered by integer adds.
+            # Integer sums commute, so this matches both bincount paths
+            # below bit for bit, with no exactness-window analysis.
+            kernels.mesh_spread(mesh_acc, self.flat, w2, qc)
             return
         # |code| <= max|w| * max|q·scale/limit| + 1/2 (rint); the +1.0
         # over-covers.  A slice of r rows contributes at most r·k codes
@@ -425,20 +454,23 @@ class GaussianSplitEwald:
         positions: np.ndarray,
         out: MeshStencilPlan | None = None,
         max_elements: int | None = PLAN_MAX_ELEMENTS,
+        kernels=None,
     ) -> MeshStencilPlan | None:
         """Build (or refill) the shared stencil plan for ``positions``.
 
         Returns ``None`` when the plan would exceed ``max_elements``
         (callers then fall back to the chunked per-pass wrappers, which
         run the same kernels and therefore the same bits).  Pass a
-        previous plan as ``out`` to reuse its storage across steps.
+        previous plan as ``out`` to reuse its storage across steps, and
+        a kernel suite as ``kernels`` to fill it with the compiled cube
+        pass (bitwise identical either way).
         """
         n = len(positions)
         if max_elements is not None and n * self.stencil_size() > max_elements:
             return None
         if out is None or out.n != n or out.gse is not self:
             out = MeshStencilPlan(self, n)
-        return out.build(positions)
+        return out.build(positions, kernels=kernels)
 
     # -- spreading ----------------------------------------------------------
 

@@ -59,6 +59,12 @@ class NeighborList:
         recorded under ``"neighbor_build"`` and build/reuse events
         under the ``"neighbor_builds"`` / ``"neighbor_reuses"``
         counters.
+    kernels:
+        Optional kernel suite from :mod:`repro.kernels`.  With the
+        compiled tier, :meth:`pairs` runs the cutoff filter in C into
+        persistent scratch and returns prefix *views* of that scratch
+        — bitwise identical to the NumPy filter, but the views are
+        only valid until the next :meth:`pairs` call.
     """
 
     def __init__(
@@ -68,6 +74,7 @@ class NeighborList:
         skin: float = 2.0,
         exclusions=None,
         timers=None,
+        kernels=None,
     ):
         if cutoff <= 0:
             raise ValueError("cutoff must be positive")
@@ -84,11 +91,15 @@ class NeighborList:
         self.reach = self.cutoff + self.effective_skin
         self.exclusions = exclusions
         self.timers = timers
+        self.kernels = kernels
         self.n_builds = 0
         self.n_reuses = 0
         self._ref_positions: np.ndarray | None = None
         self._cand_i: np.ndarray | None = None
         self._cand_j: np.ndarray | None = None
+        self._lengths = np.ascontiguousarray(box.lengths, dtype=np.float64)
+        self._scratch_cap = -1
+        self._oi = self._oj = self._odx = self._or2 = None
 
     # -- building ----------------------------------------------------------
 
@@ -187,7 +198,34 @@ class NeighborList:
             if self.timers is not None:
                 self.timers.count("neighbor_reuses")
         ii, jj = self._cand_i, self._cand_j
+        k = self.kernels
+        if k is not None and k.tier == "compiled" and len(ii):
+            self._ensure_scratch(len(ii))
+            m = k.pair_filter(
+                np.ascontiguousarray(wrapped),
+                ii,
+                jj,
+                self._lengths,
+                self.cutoff * self.cutoff,
+                self._oi,
+                self._oj,
+                self._odx,
+                self._or2,
+            )
+            return NeighborPairs(
+                i=self._oi[:m], j=self._oj[:m], dx=self._odx[:m], r2=self._or2[:m]
+            )
         dx = self.box.minimum_image(wrapped[ii] - wrapped[jj])
         r2 = np.sum(dx * dx, axis=1)
         keep = r2 < self.cutoff * self.cutoff
         return NeighborPairs(i=ii[keep], j=jj[keep], dx=dx[keep], r2=r2[keep])
+
+    def _ensure_scratch(self, n: int) -> None:
+        """Size the compiled-filter output scratch to the candidate count."""
+        if n <= self._scratch_cap:
+            return
+        self._scratch_cap = n
+        self._oi = np.empty(n, dtype=np.int64)
+        self._oj = np.empty(n, dtype=np.int64)
+        self._odx = np.empty((n, 3), dtype=np.float64)
+        self._or2 = np.empty(n, dtype=np.float64)

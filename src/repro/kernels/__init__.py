@@ -1,0 +1,27 @@
+"""Optional compiled kernel tier for the machine simulation hot loops.
+
+See :mod:`repro.kernels.suite` for the tier contract and
+:mod:`repro.kernels.build` for the lazy C build.  The public surface is
+:func:`get_suite`, the ``kernel_tier`` knob's resolver.
+"""
+
+from repro.kernels.build import KernelBuildError, available
+from repro.kernels.suite import (
+    KERNEL_TIERS,
+    CompiledKernels,
+    NumpyKernels,
+    PairTableSpec,
+    get_suite,
+    make_pair_spec,
+)
+
+__all__ = [
+    "KERNEL_TIERS",
+    "KernelBuildError",
+    "CompiledKernels",
+    "NumpyKernels",
+    "PairTableSpec",
+    "available",
+    "get_suite",
+    "make_pair_spec",
+]

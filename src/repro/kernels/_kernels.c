@@ -1,0 +1,434 @@
+/* Compiled hot-loop kernels for the functional machine simulation.
+ *
+ * Every routine here is a bit-for-bit replica of a NumPy expression in
+ * the simulator: same operations, same association order, same rounding
+ * (rint == np.rint, round-half-to-even under the default FP
+ * environment), and integer accumulation done in uint64 so two's-
+ * complement wrap matches NumPy's int64 overflow behaviour instead of
+ * tripping C's signed-overflow UB.  Nothing in this file may introduce
+ * a fused multiply-add or a reassociated sum: the build compiles with
+ * -ffp-contract=off and no -ffast-math, and the property tests compare
+ * every output against the NumPy path bitwise.
+ *
+ * Division is kept literal (x / L, not x * (1.0 / L)): a reciprocal
+ * multiply is not the same IEEE operation and does change bits.
+ */
+
+#include <math.h>
+#include <stdint.h>
+
+/* Segment-lookup acceleration grid: maps u in [0, 1) to a starting
+ * segment index; a short forward scan lands on the exact segment,
+ * reproducing np.searchsorted(starts, u, side="right") - 1 for the
+ * monotone tier layouts (starts[0] == 0.0, u >= 0). */
+#define RK_GRID 1024
+
+static void rk_build_grid(const double *starts, int64_t nseg, int32_t *grid)
+{
+    int64_t idx = 0;
+    for (int64_t g = 0; g < RK_GRID; g++) {
+        double u0 = (double)g / (double)RK_GRID;
+        while (idx + 1 < nseg && starts[idx + 1] <= u0)
+            idx++;
+        grid[g] = (int32_t)idx;
+    }
+}
+
+static inline int64_t rk_segment(const double *starts, int64_t nseg,
+                                 const int32_t *grid, double u)
+{
+    int64_t g = (int64_t)(u * (double)RK_GRID);
+    if (g >= RK_GRID)
+        g = RK_GRID - 1;
+    if (g < 0)
+        g = 0;
+    int64_t idx = grid[g];
+    while (idx + 1 < nseg && starts[idx + 1] <= u)
+        idx++;
+    return idx;
+}
+
+/* Cubic Horner over coefficients stored [c0, c1, c2, c3], matching
+ * TieredTable.evaluate_at's loop from the highest coefficient down. */
+static inline double rk_horner4(const double *c, double t)
+{
+    double out = c[3];
+    out = out * t + c[2];
+    out = out * t + c[1];
+    out = out * t + c[0];
+    return out;
+}
+
+/* ScaledFixed.quantize_round_only for one value: (q / limit) * scale,
+ * clipped to +-2^62, round-nearest-even, cast to int64. */
+static inline int64_t rk_quantize(double q, double limit, double scale)
+{
+    double x = q / limit * scale;
+    const double cap = 4611686018427387904.0; /* 2.0**62 */
+    if (x < -cap)
+        x = -cap;
+    if (x > cap)
+        x = cap;
+    return (int64_t)rint(x);
+}
+
+/* -- neighbor-list cutoff filter ------------------------------------- */
+
+/* NeighborList.pairs steady state: minimum-image displacement of every
+ * cached candidate, squared distance, compaction to r2 < cutoff2.
+ * Returns the surviving pair count. */
+int64_t rk_pair_filter(int64_t n_cand, const int64_t *ii, const int64_t *jj,
+                       const double *w, const double *L, double cutoff2,
+                       int64_t *oi, int64_t *oj, double *odx, double *or2)
+{
+    int64_t m = 0;
+    for (int64_t k = 0; k < n_cand; k++) {
+        const double *a = w + 3 * ii[k];
+        const double *b = w + 3 * jj[k];
+        double d0 = a[0] - b[0];
+        double d1 = a[1] - b[1];
+        double d2 = a[2] - b[2];
+        d0 = d0 - L[0] * rint(d0 / L[0]);
+        d1 = d1 - L[1] * rint(d1 / L[1]);
+        d2 = d2 - L[2] * rint(d2 / L[2]);
+        double r2 = (d0 * d0 + d1 * d1) + d2 * d2;
+        if (r2 < cutoff2) {
+            oi[m] = ii[k];
+            oj[m] = jj[k];
+            odx[3 * m] = d0;
+            odx[3 * m + 1] = d1;
+            odx[3 * m + 2] = d2;
+            or2[m] = r2;
+            m++;
+        }
+    }
+    return m;
+}
+
+/* -- fused tabulated pair kernel ------------------------------------- */
+
+/* nonbonded_real_space_tabulated + quantize_round_only in one pass:
+ * per pair, normalize r2, locate both tier layouts, Horner-evaluate the
+ * six tables, combine with the charge product and LJ A/B coefficients,
+ * and quantize the force vector straight to int64 codes.  Per-pair
+ * energies are written out for the caller's np.sum (so the reported
+ * float energies keep NumPy's pairwise-summation bits). */
+void rk_pair_table_codes(
+    int64_t n, const int64_t *pi, const int64_t *pj,
+    const double *dx, const double *r2,
+    const double *charges, const int64_t *types,
+    const double *amat, const double *bmat, int64_t n_types,
+    double coulomb, double cutoff2, double umax,
+    const double *e_starts, int64_t e_nseg,
+    const double *e_widths,
+    const double *e_cf, const double *e_ce,
+    const double *d_starts, int64_t d_nseg,
+    const double *d_widths,
+    const double *c12f, const double *c6f,
+    const double *c12e, const double *c6e,
+    double q_limit, double q_scale,
+    int64_t *codes, double *e_lj, double *e_coul)
+{
+    int32_t e_grid[RK_GRID];
+    int32_t d_grid[RK_GRID];
+    rk_build_grid(e_starts, e_nseg, e_grid);
+    rk_build_grid(d_starts, d_nseg, d_grid);
+
+    for (int64_t k = 0; k < n; k++) {
+        int64_t i = pi[k], j = pj[k];
+        double qq = charges[i] * charges[j] * coulomb;
+        int64_t tij = types[i] * n_types + types[j];
+        double a = amat[tij];
+        double b = bmat[tij];
+
+        double u = r2[k] / cutoff2;
+        if (u > umax)
+            u = umax;
+
+        int64_t ie = rk_segment(e_starts, e_nseg, e_grid, u);
+        double te = (u - e_starts[ie]) / e_widths[ie];
+        if (te < 0.0)
+            te = 0.0;
+        if (te > 1.0)
+            te = 1.0;
+        int64_t id = rk_segment(d_starts, d_nseg, d_grid, u);
+        double td = (u - d_starts[id]) / d_widths[id];
+        if (td < 0.0)
+            td = 0.0;
+        if (td > 1.0)
+            td = 1.0;
+
+        double ef = rk_horner4(e_cf + 4 * ie, te);
+        double ee = rk_horner4(e_ce + 4 * ie, te);
+        double f12 = rk_horner4(c12f + 4 * id, td);
+        double f6 = rk_horner4(c6f + 4 * id, td);
+        double e12 = rk_horner4(c12e + 4 * id, td);
+        double e6 = rk_horner4(c6e + 4 * id, td);
+
+        double p = qq * ef + a * f12 - b * f6;
+        e_coul[k] = qq * ee;
+        e_lj[k] = a * e12 - b * e6;
+
+        codes[3 * k] = rk_quantize(p * dx[3 * k], q_limit, q_scale);
+        codes[3 * k + 1] = rk_quantize(p * dx[3 * k + 1], q_limit, q_scale);
+        codes[3 * k + 2] = rk_quantize(p * dx[3 * k + 2], q_limit, q_scale);
+    }
+}
+
+/* -- fixed-point deposits --------------------------------------------- */
+
+/* acc[i] += codes; acc[j] -= codes over (n, 3) rows, with NumPy int64
+ * wrap semantics (uint64 arithmetic). */
+void rk_deposit_pairs(int64_t *acc, const int64_t *pi, const int64_t *pj,
+                      const int64_t *codes, int64_t n)
+{
+    uint64_t *a = (uint64_t *)acc;
+    const uint64_t *c = (const uint64_t *)codes;
+    for (int64_t k = 0; k < n; k++) {
+        uint64_t *ri = a + 3 * pi[k];
+        uint64_t *rj = a + 3 * pj[k];
+        ri[0] += c[3 * k];
+        ri[1] += c[3 * k + 1];
+        ri[2] += c[3 * k + 2];
+        rj[0] -= c[3 * k];
+        rj[1] -= c[3 * k + 1];
+        rj[2] -= c[3 * k + 2];
+    }
+}
+
+/* acc[idx] += codes over (n, 3) rows (bonded-term deposits). */
+void rk_scatter_rows(int64_t *acc, const int64_t *idx, const int64_t *codes,
+                     int64_t n)
+{
+    uint64_t *a = (uint64_t *)acc;
+    const uint64_t *c = (const uint64_t *)codes;
+    for (int64_t k = 0; k < n; k++) {
+        uint64_t *r = a + 3 * idx[k];
+        r[0] += c[3 * k];
+        r[1] += c[3 * k + 1];
+        r[2] += c[3 * k + 2];
+    }
+}
+
+/* Flat int64 scatter-add: acc[keys[k]] += codes[k]. */
+void rk_scatter_add(int64_t *acc, const int64_t *keys, const int64_t *codes,
+                    int64_t n)
+{
+    uint64_t *a = (uint64_t *)acc;
+    const uint64_t *c = (const uint64_t *)codes;
+    for (int64_t k = 0; k < n; k++)
+        a[keys[k]] += c[k];
+}
+
+/* -- mesh charge spreading -------------------------------------------- */
+
+/* MeshStencilPlan.spread_codes: codes are rint(w * qc) per stencil
+ * point, scattered into the flat int64 mesh accumulator.  Two index
+ * widths because the plan stores int32 indices when the mesh fits. */
+void rk_mesh_spread_i32(int64_t *acc, const int32_t *flat, const double *w2,
+                        const double *qc, int64_t n, int64_t k)
+{
+    uint64_t *a = (uint64_t *)acc;
+    for (int64_t i = 0; i < n; i++) {
+        double q = qc[i];
+        const double *wr = w2 + i * k;
+        const int32_t *fr = flat + i * k;
+        for (int64_t m = 0; m < k; m++)
+            a[fr[m]] += (uint64_t)(int64_t)rint(wr[m] * q);
+    }
+}
+
+void rk_mesh_spread_i64(int64_t *acc, const int64_t *flat, const double *w2,
+                        const double *qc, int64_t n, int64_t k)
+{
+    uint64_t *a = (uint64_t *)acc;
+    for (int64_t i = 0; i < n; i++) {
+        double q = qc[i];
+        const double *wr = w2 + i * k;
+        const int64_t *fr = flat + i * k;
+        for (int64_t m = 0; m < k; m++)
+            a[fr[m]] += (uint64_t)(int64_t)rint(wr[m] * q);
+    }
+}
+
+/* -- SHAKE / RATTLE ---------------------------------------------------- */
+
+static inline double rk_min_image(double d, double L)
+{
+    return d - L * rint(d / L);
+}
+
+/* Running maximum that propagates NaN the way np.max does: once err is
+ * NaN it stays NaN, so the convergence test (err < tol) keeps failing
+ * exactly as NumPy's would. */
+static inline double rk_max(double err, double e)
+{
+    if (isnan(e) || e > err)
+        return e;
+    return err;
+}
+
+/* ConstraintSolver.shake: Gauss-Seidel sweeps over atom-disjoint
+ * constraint batches.  `order` is the concatenation of the coloring
+ * batches, `starts` the (nbatch + 1) prefix offsets into it.  `dref`
+ * is caller-provided (ncon, 3) scratch. */
+void rk_shake(double *pos, const double *ref, const int64_t *ci,
+              const int64_t *cj, const double *d2, const double *inv,
+              const double *L, int64_t ncon, const int64_t *order,
+              const int64_t *starts, int64_t nbatch, int64_t iters,
+              double tol, double *dref)
+{
+    for (int64_t c = 0; c < ncon; c++) {
+        const double *ri = ref + 3 * ci[c];
+        const double *rj = ref + 3 * cj[c];
+        dref[3 * c] = rk_min_image(ri[0] - rj[0], L[0]);
+        dref[3 * c + 1] = rk_min_image(ri[1] - rj[1], L[1]);
+        dref[3 * c + 2] = rk_min_image(ri[2] - rj[2], L[2]);
+    }
+    for (int64_t it = 0; it < iters; it++) {
+        double err = 0.0;
+        for (int64_t c = 0; c < ncon; c++) {
+            const double *xi = pos + 3 * ci[c];
+            const double *xj = pos + 3 * cj[c];
+            double d0 = rk_min_image(xi[0] - xj[0], L[0]);
+            double d1 = rk_min_image(xi[1] - xj[1], L[1]);
+            double dz = rk_min_image(xi[2] - xj[2], L[2]);
+            double r2 = (d0 * d0 + d1 * d1) + dz * dz;
+            err = rk_max(err, fabs(r2 - d2[c]));
+        }
+        if (err < tol)
+            break;
+        for (int64_t b = 0; b < nbatch; b++) {
+            for (int64_t s = starts[b]; s < starts[b + 1]; s++) {
+                int64_t c = order[s];
+                int64_t i = ci[c], j = cj[c];
+                double *xi = pos + 3 * i;
+                double *xj = pos + 3 * j;
+                double d0 = rk_min_image(xi[0] - xj[0], L[0]);
+                double d1 = rk_min_image(xi[1] - xj[1], L[1]);
+                double dz = rk_min_image(xi[2] - xj[2], L[2]);
+                double diff = ((d0 * d0 + d1 * d1) + dz * dz) - d2[c];
+                double dot = (d0 * dref[3 * c] + d1 * dref[3 * c + 1])
+                             + dz * dref[3 * c + 2];
+                double denom = 2.0 * (inv[i] + inv[j]) * dot;
+                if (fabs(denom) < 1e-12)
+                    denom = 1e-12;
+                double g = diff / denom;
+                double c0 = g * dref[3 * c];
+                double c1 = g * dref[3 * c + 1];
+                double c2 = g * dref[3 * c + 2];
+                xi[0] -= inv[i] * c0;
+                xi[1] -= inv[i] * c1;
+                xi[2] -= inv[i] * c2;
+                xj[0] += inv[j] * c0;
+                xj[1] += inv[j] * c1;
+                xj[2] += inv[j] * c2;
+            }
+        }
+    }
+}
+
+/* ConstraintSolver.rattle.  `dx_all` (ncon, 3) and `d2_all` (ncon) are
+ * caller-provided scratch. */
+void rk_rattle(double *vel, const double *pos, const int64_t *ci,
+               const int64_t *cj, const double *inv, const double *L,
+               int64_t ncon, const int64_t *order, const int64_t *starts,
+               int64_t nbatch, int64_t iters, double tol, double *dx_all,
+               double *d2_all)
+{
+    for (int64_t c = 0; c < ncon; c++) {
+        const double *xi = pos + 3 * ci[c];
+        const double *xj = pos + 3 * cj[c];
+        double d0 = rk_min_image(xi[0] - xj[0], L[0]);
+        double d1 = rk_min_image(xi[1] - xj[1], L[1]);
+        double dz = rk_min_image(xi[2] - xj[2], L[2]);
+        dx_all[3 * c] = d0;
+        dx_all[3 * c + 1] = d1;
+        dx_all[3 * c + 2] = dz;
+        d2_all[c] = (d0 * d0 + d1 * d1) + dz * dz;
+    }
+    for (int64_t it = 0; it < iters; it++) {
+        double err = 0.0;
+        for (int64_t c = 0; c < ncon; c++) {
+            const double *vi = vel + 3 * ci[c];
+            const double *vj = vel + 3 * cj[c];
+            double s = (dx_all[3 * c] * (vi[0] - vj[0])
+                        + dx_all[3 * c + 1] * (vi[1] - vj[1]))
+                       + dx_all[3 * c + 2] * (vi[2] - vj[2]);
+            err = rk_max(err, fabs(s));
+        }
+        if (err < tol)
+            break;
+        for (int64_t b = 0; b < nbatch; b++) {
+            for (int64_t s = starts[b]; s < starts[b + 1]; s++) {
+                int64_t c = order[s];
+                int64_t i = ci[c], j = cj[c];
+                double *vi = vel + 3 * i;
+                double *vj = vel + 3 * j;
+                double rv = (dx_all[3 * c] * (vi[0] - vj[0])
+                             + dx_all[3 * c + 1] * (vi[1] - vj[1]))
+                            + dx_all[3 * c + 2] * (vi[2] - vj[2]);
+                double kk = rv / ((inv[i] + inv[j]) * d2_all[c]);
+                double c0 = kk * dx_all[3 * c];
+                double c1 = kk * dx_all[3 * c + 1];
+                double c2 = kk * dx_all[3 * c + 2];
+                vi[0] -= inv[i] * c0;
+                vi[1] -= inv[i] * c1;
+                vi[2] -= inv[i] * c2;
+                vj[0] += inv[j] * c0;
+                vj[1] += inv[j] * c1;
+                vj[2] += inv[j] * c2;
+            }
+        }
+    }
+}
+
+/* -- mesh stencil plan -------------------------------------------------- */
+
+/* One fused pass over the (kx, ky, kz) stencil cube of each atom:
+ * weight outer product, spherical r^2 mask, and flattened mesh index.
+ * Replicates the NumPy build exactly:
+ *   wxy = (wx * norm)[x] * wy[y]   (wxn is precomputed wx * norm)
+ *   w   = wxy * wz[z], zeroed where (dx^2 + dy^2) + dz^2 > c2
+ *   flat = (ix * my + iy) * mz + iz   (int32 arithmetic)
+ * All weights are positive (Gaussians), so the conditional zero matches
+ * NumPy's multiply-by-bool mask (w * 0.0 == +0.0) bit for bit.  Index
+ * math runs through uint32 so any wrap matches NumPy int32 instead of
+ * tripping signed-overflow UB. */
+void rk_mesh_plan(int64_t n, int64_t kx, int64_t ky, int64_t kz,
+                  const double *wxn, const double *wy, const double *wz,
+                  const double *dx, const double *dy, const double *dz,
+                  const int32_t *ix, const int32_t *iy, const int32_t *iz,
+                  int64_t my, int64_t mz, double c2,
+                  double *w, int32_t *flat)
+{
+    int64_t cube = kx * ky * kz;
+    for (int64_t i = 0; i < n; i++) {
+        const double *wxi = wxn + i * kx;
+        const double *wyi = wy + i * ky;
+        const double *wzi = wz + i * kz;
+        const double *dxi = dx + i * kx;
+        const double *dyi = dy + i * ky;
+        const double *dzi = dz + i * kz;
+        const int32_t *ixi = ix + i * kx;
+        const int32_t *iyi = iy + i * ky;
+        const int32_t *izi = iz + i * kz;
+        double *wv = w + i * cube;
+        int32_t *fl = flat + i * cube;
+        for (int64_t x = 0; x < kx; x++) {
+            double wxv = wxi[x];
+            double dx2 = dxi[x] * dxi[x];
+            uint32_t fx = (uint32_t)ixi[x] * (uint32_t)my;
+            for (int64_t y = 0; y < ky; y++) {
+                double wxy = wxv * wyi[y];
+                double r2xy = dx2 + dyi[y] * dyi[y];
+                uint32_t fxy = (fx + (uint32_t)iyi[y]) * (uint32_t)mz;
+                for (int64_t z = 0; z < kz; z++) {
+                    double r2 = r2xy + dzi[z] * dzi[z];
+                    *wv++ = (r2 <= c2) ? wxy * wzi[z] : 0.0;
+                    *fl++ = (int32_t)(fxy + (uint32_t)izi[z]);
+                }
+            }
+        }
+    }
+}

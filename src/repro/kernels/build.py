@@ -1,0 +1,164 @@
+"""Lazy, cached build of the compiled kernel extension.
+
+The C source in ``_kernels.c`` is compiled on first use with whatever
+C compiler the host provides (``cc``/``gcc``/``clang``), into a shared
+object cached next to the package under ``_build/`` keyed by a hash of
+the source and the flags — recompiles happen only when either changes.
+There is deliberately no setuptools machinery: the kernels are optional,
+and a host without a compiler must keep working on the NumPy tier.
+
+Two flags are load-bearing for bitwise reproducibility and are never
+negotiable:
+
+* ``-ffp-contract=off`` — GCC contracts ``a*b + c`` into fused
+  multiply-adds by default at ``-O2``+; an FMA rounds once where NumPy
+  rounds twice and silently changes force bits.
+* no ``-ffast-math`` — reassociation and reciprocal math would break
+  the operation-order contract the kernels are written against.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import subprocess
+import tempfile
+from pathlib import Path
+
+__all__ = ["KernelBuildError", "build", "load"]
+
+_SRC = Path(__file__).resolve().parent / "_kernels.c"
+
+#: Optimized but strictly IEEE-ordered; see module docstring.
+CFLAGS = ("-O3", "-fPIC", "-shared", "-ffp-contract=off", "-fno-fast-math")
+
+_COMPILERS = ("cc", "gcc", "clang")
+
+_lib = None
+_lib_error: Exception | None = None
+
+
+class KernelBuildError(RuntimeError):
+    """The compiled tier is unavailable on this host."""
+
+
+def _source_key() -> str:
+    h = hashlib.sha256()
+    h.update(_SRC.read_bytes())
+    h.update(" ".join(CFLAGS).encode())
+    return h.hexdigest()[:16]
+
+
+def _build_dir() -> Path:
+    """Writable cache directory for the shared object.
+
+    Prefers ``_build/`` inside the package (fast, survives across
+    runs); falls back to a per-user temp directory when the package
+    tree is read-only (e.g. an installed site-packages).
+    """
+    cand = _SRC.parent / "_build"
+    try:
+        cand.mkdir(exist_ok=True)
+        probe = cand / ".write-probe"
+        probe.write_bytes(b"")
+        probe.unlink()
+        return cand
+    except OSError:
+        fallback = Path(tempfile.gettempdir()) / f"repro-kernels-{os.getuid()}"
+        fallback.mkdir(exist_ok=True)
+        return fallback
+
+
+def build() -> Path:
+    """Compile (if needed) and return the path to the shared object.
+
+    Raises :class:`KernelBuildError` when no working C compiler is
+    found; callers fall back to the NumPy tier.
+    """
+    if not _SRC.exists():
+        raise KernelBuildError(f"kernel source missing: {_SRC}")
+    out = _build_dir() / f"_kernels-{_source_key()}.so"
+    if out.exists():
+        return out
+    errors = []
+    for cc in _COMPILERS:
+        tmp = out.with_name(out.name + f".tmp{os.getpid()}")
+        cmd = [cc, *CFLAGS, str(_SRC), "-o", str(tmp), "-lm"]
+        try:
+            proc = subprocess.run(
+                cmd, capture_output=True, text=True, timeout=120
+            )
+        except (OSError, subprocess.TimeoutExpired) as exc:
+            errors.append(f"{cc}: {exc}")
+            continue
+        if proc.returncode == 0 and tmp.exists():
+            os.replace(tmp, out)  # atomic: concurrent builders race safely
+            return out
+        errors.append(f"{cc}: rc={proc.returncode} {proc.stderr.strip()[:400]}")
+        tmp.unlink(missing_ok=True)
+    raise KernelBuildError(
+        "no working C compiler for the compiled kernel tier: "
+        + "; ".join(errors)
+    )
+
+
+def _declare(lib: ctypes.CDLL) -> None:
+    """Attach argument/return types so ctypes marshals correctly."""
+    i64 = ctypes.c_int64
+    f64 = ctypes.c_double
+    p = ctypes.c_void_p  # raw array pointers via ndarray.ctypes.data
+
+    lib.rk_pair_filter.restype = i64
+    lib.rk_pair_filter.argtypes = [i64, p, p, p, p, f64, p, p, p, p]
+    lib.rk_pair_table_codes.restype = None
+    lib.rk_pair_table_codes.argtypes = (
+        [i64, p, p, p, p, p, p, p, p, i64, f64, f64, f64]
+        + [p, i64, p, p, p]
+        + [p, i64, p, p, p, p, p]
+        + [f64, f64, p, p, p]
+    )
+    lib.rk_deposit_pairs.restype = None
+    lib.rk_deposit_pairs.argtypes = [p, p, p, p, i64]
+    lib.rk_scatter_rows.restype = None
+    lib.rk_scatter_rows.argtypes = [p, p, p, i64]
+    lib.rk_scatter_add.restype = None
+    lib.rk_scatter_add.argtypes = [p, p, p, i64]
+    lib.rk_mesh_spread_i32.restype = None
+    lib.rk_mesh_spread_i32.argtypes = [p, p, p, p, i64, i64]
+    lib.rk_mesh_spread_i64.restype = None
+    lib.rk_mesh_spread_i64.argtypes = [p, p, p, p, i64, i64]
+    lib.rk_mesh_plan.restype = None
+    lib.rk_mesh_plan.argtypes = (
+        [i64, i64, i64, i64] + [p] * 9 + [i64, i64, f64, p, p]
+    )
+    lib.rk_shake.restype = None
+    lib.rk_shake.argtypes = [p, p, p, p, p, p, p, i64, p, p, i64, i64, f64, p]
+    lib.rk_rattle.restype = None
+    lib.rk_rattle.argtypes = [p, p, p, p, p, p, i64, p, p, i64, i64, f64, p, p]
+
+
+def load() -> ctypes.CDLL:
+    """Build if needed and load the extension (cached per process)."""
+    global _lib, _lib_error
+    if _lib is not None:
+        return _lib
+    if _lib_error is not None:
+        raise KernelBuildError(str(_lib_error))
+    try:
+        lib = ctypes.CDLL(str(build()))
+        _declare(lib)
+    except (KernelBuildError, OSError) as exc:
+        _lib_error = exc
+        raise KernelBuildError(str(exc)) from exc
+    _lib = lib
+    return lib
+
+
+def available() -> bool:
+    """True when the compiled tier can be (or already was) loaded."""
+    try:
+        load()
+    except KernelBuildError:
+        return False
+    return True

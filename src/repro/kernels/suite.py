@@ -1,0 +1,414 @@
+"""Kernel tiers: NumPy reference implementations and ctypes wrappers.
+
+A *kernel suite* is the small set of hot-loop primitives the machine
+simulation dispatches through: neighbor-pair cutoff filtering, the
+fused tabulated pair kernel (table evaluation straight to fixed-point
+force codes), fixed-point scatter deposits, mesh charge spreading, and
+the SHAKE/RATTLE constraint sweeps.  Two tiers implement the same
+contract:
+
+* :class:`NumpyKernels` — pure NumPy, always available, and the
+  reference the property tests compare against.
+* :class:`CompiledKernels` — thin ctypes shims over ``_kernels.c``,
+  built lazily by :mod:`repro.kernels.build`.
+
+The contract is *bitwise identity*: for any input, both tiers return
+the same bytes.  The compiled tier therefore preserves every
+reproducibility gate in the repo (backend equivalence, fault-recovery
+replay, checkpoint round-trips) while removing the Python interpreter
+from the per-pair loops.
+
+:func:`get_suite` resolves the tier knob: explicit argument first, then
+the ``REPRO_KERNEL_TIER`` environment variable, then ``"numpy"``.
+Requesting ``"compiled"`` on a host without a C compiler degrades to
+the NumPy tier with a one-time warning — the package never hard-fails
+for lack of a toolchain.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.kernels.build import KernelBuildError, load
+
+__all__ = [
+    "KERNEL_TIERS",
+    "PairTableSpec",
+    "NumpyKernels",
+    "CompiledKernels",
+    "make_pair_spec",
+    "get_suite",
+]
+
+KERNEL_TIERS = ("numpy", "compiled")
+
+
+def _ptr(a: np.ndarray) -> int:
+    return a.ctypes.data
+
+
+def _i64(a) -> np.ndarray:
+    """C-contiguous int64 view (no copy when already conforming)."""
+    return np.ascontiguousarray(a, dtype=np.int64)
+
+
+@dataclass(frozen=True)
+class PairTableSpec:
+    """Frozen per-system inputs of the fused tabulated pair kernel.
+
+    Everything that does not change between force evaluations: charges,
+    LJ type ids, the precomputed per-type-pair A/B coefficient matrices,
+    the tier-table segmentations and quantized cubic coefficients for
+    the electrostatic and dispersion layouts, and the force-code
+    quantization constants.  Built once by :func:`make_pair_spec` and
+    reused every step.
+    """
+
+    charges: np.ndarray
+    types: np.ndarray
+    amat: np.ndarray
+    bmat: np.ndarray
+    n_types: int
+    coulomb: float
+    cutoff2: float
+    umax: float
+    e_starts: np.ndarray
+    e_widths: np.ndarray
+    e_cf: np.ndarray
+    e_ce: np.ndarray
+    d_starts: np.ndarray
+    d_widths: np.ndarray
+    c12f: np.ndarray
+    c6f: np.ndarray
+    c12e: np.ndarray
+    c6e: np.ndarray
+    q_limit: float
+    q_scale: float
+
+
+def make_pair_spec(tables, lj_table, charges, type_ids, force_codec) -> PairTableSpec:
+    """Precompute the static arrays for :meth:`~NumpyKernels.pair_table_codes`.
+
+    The A/B matrices are formed with exactly the elementwise operations
+    of :meth:`LJTable.pair_coefficients` (``s6 = sigma**6`` then
+    ``4 eps s6 s6`` / ``4 eps s6``) applied to the full type-pair
+    matrices; a gather from these matrices is bitwise identical to the
+    per-pair computation because every op is elementwise.
+    """
+    from repro.util import COULOMB
+
+    def seg(table):
+        cq = np.ascontiguousarray(table.coeffs_quant, dtype=np.float64)
+        if cq.ndim != 2 or cq.shape[1] != 4:
+            raise ValueError("fused pair kernel requires cubic tables")
+        return (
+            np.ascontiguousarray(table.seg_starts, dtype=np.float64),
+            np.ascontiguousarray(table.seg_widths, dtype=np.float64),
+            cq,
+        )
+
+    e_starts, e_widths, e_cf = seg(tables.tables["elec_f"])
+    ee_starts, _, e_ce = seg(tables.tables["elec_e"])
+    d_starts, d_widths, c12f = seg(tables.tables["lj12_f"])
+    _, _, c6f = seg(tables.tables["lj6_f"])
+    _, _, c12e = seg(tables.tables["lj12_e"])
+    _, _, c6e = seg(tables.tables["lj6_e"])
+    if tables.tables["elec_f"].segmentation_key() != tables.tables["elec_e"].segmentation_key():
+        raise ValueError("electrostatic tables must share a segmentation")
+    for name in ("lj6_f", "lj12_e", "lj6_e"):
+        if tables.tables[name].segmentation_key() != tables.tables["lj12_f"].segmentation_key():
+            raise ValueError("dispersion tables must share a segmentation")
+
+    s6 = lj_table.sigma_ij**6
+    eps_ij = lj_table.eps_ij
+    amat = np.ascontiguousarray(4.0 * eps_ij * s6 * s6)
+    bmat = np.ascontiguousarray(4.0 * eps_ij * s6)
+
+    return PairTableSpec(
+        charges=np.ascontiguousarray(charges, dtype=np.float64),
+        types=np.ascontiguousarray(type_ids, dtype=np.int64),
+        amat=amat,
+        bmat=bmat,
+        n_types=int(amat.shape[0]),
+        coulomb=float(COULOMB),
+        cutoff2=float(tables.cutoff) ** 2,
+        umax=float(np.nextafter(1.0, 0.0)),
+        e_starts=e_starts,
+        e_widths=e_widths,
+        e_cf=e_cf,
+        e_ce=e_ce,
+        d_starts=d_starts,
+        d_widths=d_widths,
+        c12f=c12f,
+        c6f=c6f,
+        c12e=c12e,
+        c6e=c6e,
+        q_limit=float(force_codec.limit),
+        q_scale=float(force_codec.fmt.scale),
+    )
+
+
+class NumpyKernels:
+    """Reference tier: NumPy expressions matching the simulator's own.
+
+    These mirror (and in the scatter/spread cases simply call) the
+    existing vectorized code paths, so "compiled vs numpy" identity is
+    the same statement as "compiled vs simulator" identity.
+    """
+
+    tier = "numpy"
+
+    # -- neighbor filter -------------------------------------------------
+
+    def pair_filter(self, wrapped, ii, jj, lengths, cutoff2, oi, oj, odx, or2):
+        """Cutoff-filter candidate pairs into the provided scratch.
+
+        Returns the surviving count ``m``; results land in
+        ``oi[:m], oj[:m], odx[:m], or2[:m]``.
+        """
+        d = wrapped[ii] - wrapped[jj]
+        dx = d - lengths * np.round(d / lengths)
+        r2 = np.sum(dx * dx, axis=1)
+        keep = r2 < cutoff2
+        m = int(np.count_nonzero(keep))
+        oi[:m] = ii[keep]
+        oj[:m] = jj[keep]
+        odx[:m] = dx[keep]
+        or2[:m] = r2[keep]
+        return m
+
+    # -- fused tabulated pair kernel -------------------------------------
+
+    def pair_table_codes(self, spec: PairTableSpec, i, j, dx, r2, codes, e_lj, e_coul):
+        """Tabulated pair forces quantized to int64 codes.
+
+        Writes force codes and per-pair energies into the provided
+        output arrays (all length ``len(i)``).
+        """
+        qq = spec.charges[i] * spec.charges[j] * spec.coulomb
+        a = spec.amat[spec.types[i], spec.types[j]]
+        b = spec.bmat[spec.types[i], spec.types[j]]
+
+        u = r2 / spec.cutoff2
+        u = np.minimum(u, spec.umax)
+
+        def locate(starts, widths):
+            idx = np.searchsorted(starts, u, side="right") - 1
+            idx = np.clip(idx, 0, len(starts) - 1)
+            t = (u - starts[idx]) / widths[idx]
+            return idx, np.clip(t, 0.0, 1.0)
+
+        def horner(coeffs, idx, t):
+            c = coeffs[idx]
+            out = c[..., -1].copy()
+            for k in range(c.shape[-1] - 2, -1, -1):
+                out = out * t + c[..., k]
+            return out
+
+        ie, te = locate(spec.e_starts, spec.e_widths)
+        idd, td = locate(spec.d_starts, spec.d_widths)
+        p = (
+            qq * horner(spec.e_cf, ie, te)
+            + a * horner(spec.c12f, idd, td)
+            - b * horner(spec.c6f, idd, td)
+        )
+        e_coul[:] = qq * horner(spec.e_ce, ie, te)
+        e_lj[:] = a * horner(spec.c12e, idd, td) - b * horner(spec.c6e, idd, td)
+
+        x = p[:, None] * dx / spec.q_limit * spec.q_scale
+        cap = 2.0**62
+        codes[:] = np.rint(np.clip(x, -cap, cap)).astype(np.int64)
+
+    # -- fixed-point deposits --------------------------------------------
+
+    def deposit_pairs(self, raw, i, j, codes):
+        with np.errstate(over="ignore"):
+            np.add.at(raw, i, codes)
+            np.subtract.at(raw, j, codes)
+
+    def scatter_rows(self, raw, idx, codes):
+        with np.errstate(over="ignore"):
+            np.add.at(raw, idx, codes)
+
+    def scatter_add(self, acc, keys, codes):
+        with np.errstate(over="ignore"):
+            np.add.at(acc, keys, codes)
+
+    # -- mesh spreading ---------------------------------------------------
+
+    def mesh_spread(self, acc, flat, w2, qc):
+        """``acc[flat[r, c]] += rint(w2[r, c] * qc[r])`` as int64."""
+        b = w2 * qc[:, None]
+        np.rint(b, out=b)
+        part = np.bincount(
+            flat.ravel().astype(np.int64, copy=False),
+            weights=b.ravel(),
+            minlength=len(acc),
+        )
+        with np.errstate(over="ignore"):
+            acc += part.astype(np.int64)
+
+    # -- mesh stencil plan -------------------------------------------------
+
+    def mesh_plan_block(
+        self, wxn, wy, wz, dx, dy, dz, ix, iy, iz, my, mz, c2, w, flat
+    ):
+        """Fill one block of the stencil-plan weight cube and indices.
+
+        Reference implementation of the fused C pass (the hot path in
+        :meth:`~repro.ewald.gse.MeshStencilPlan.build` keeps its own
+        NumPy formulation; this exists so the property tests can compare
+        tiers through one interface).
+        """
+        wxy = wxn[:, :, None] * wy[:, None, :]
+        np.einsum("nxy,nz->nxyz", wxy, wz, out=w)
+        r2 = (dx * dx)[:, :, None, None] + (dy * dy)[:, None, :, None]
+        r2 = r2 + (dz * dz)[:, None, None, :]
+        np.multiply(w, r2 <= c2, out=w)
+        fxy = ix[:, :, None] * my + iy[:, None, :]
+        np.add(fxy[:, :, :, None] * mz, iz[:, None, None, :], out=flat)
+
+    # -- constraints -------------------------------------------------------
+
+    def shake(self, solver, positions, reference, tol):
+        return solver._shake_numpy(positions, reference, tol)
+
+    def rattle(self, solver, velocities, positions, tol):
+        return solver._rattle_numpy(velocities, positions, tol)
+
+
+class CompiledKernels(NumpyKernels):
+    """ctypes tier: same contract, C hot loops.
+
+    Inherits the NumPy implementations so any primitive without a C
+    counterpart (or future additions) transparently falls back.
+    """
+
+    tier = "compiled"
+
+    def __init__(self, lib):
+        self._lib = lib
+
+    def pair_filter(self, wrapped, ii, jj, lengths, cutoff2, oi, oj, odx, or2):
+        return int(
+            self._lib.rk_pair_filter(
+                len(ii), _ptr(ii), _ptr(jj), _ptr(wrapped), _ptr(lengths),
+                float(cutoff2), _ptr(oi), _ptr(oj), _ptr(odx), _ptr(or2),
+            )
+        )
+
+    def pair_table_codes(self, spec: PairTableSpec, i, j, dx, r2, codes, e_lj, e_coul):
+        self._lib.rk_pair_table_codes(
+            len(i), _ptr(i), _ptr(j), _ptr(dx), _ptr(r2),
+            _ptr(spec.charges), _ptr(spec.types),
+            _ptr(spec.amat), _ptr(spec.bmat), spec.n_types,
+            spec.coulomb, spec.cutoff2, spec.umax,
+            _ptr(spec.e_starts), len(spec.e_starts), _ptr(spec.e_widths),
+            _ptr(spec.e_cf), _ptr(spec.e_ce),
+            _ptr(spec.d_starts), len(spec.d_starts), _ptr(spec.d_widths),
+            _ptr(spec.c12f), _ptr(spec.c6f), _ptr(spec.c12e), _ptr(spec.c6e),
+            spec.q_limit, spec.q_scale,
+            _ptr(codes), _ptr(e_lj), _ptr(e_coul),
+        )
+
+    def deposit_pairs(self, raw, i, j, codes):
+        i = _i64(i)
+        j = _i64(j)
+        codes = _i64(codes)
+        self._lib.rk_deposit_pairs(_ptr(raw), _ptr(i), _ptr(j), _ptr(codes), len(i))
+
+    def scatter_rows(self, raw, idx, codes):
+        idx = _i64(idx)
+        codes = _i64(codes)
+        self._lib.rk_scatter_rows(_ptr(raw), _ptr(idx), _ptr(codes), len(idx))
+
+    def scatter_add(self, acc, keys, codes):
+        keys = _i64(keys)
+        codes = _i64(codes)
+        self._lib.rk_scatter_add(_ptr(acc), _ptr(keys), _ptr(codes), len(keys))
+
+    def mesh_spread(self, acc, flat, w2, qc):
+        fn = (
+            self._lib.rk_mesh_spread_i32
+            if flat.dtype == np.int32
+            else self._lib.rk_mesh_spread_i64
+        )
+        fn(_ptr(acc), _ptr(flat), _ptr(w2), _ptr(qc), flat.shape[0], flat.shape[1])
+
+    def mesh_plan_block(
+        self, wxn, wy, wz, dx, dy, dz, ix, iy, iz, my, mz, c2, w, flat
+    ):
+        n, kx = wxn.shape
+        self._lib.rk_mesh_plan(
+            n, kx, wy.shape[1], wz.shape[1],
+            _ptr(wxn), _ptr(wy), _ptr(wz),
+            _ptr(dx), _ptr(dy), _ptr(dz),
+            _ptr(ix), _ptr(iy), _ptr(iz),
+            int(my), int(mz), float(c2),
+            _ptr(w), _ptr(flat),
+        )
+
+    def shake(self, solver, positions, reference, tol):
+        pre = solver._compiled_arrays()
+        if pre is None:
+            return solver._shake_numpy(positions, reference, tol)
+        ci, cj, d2, inv, lengths, order, starts, dref, dx_all, d2_all = pre
+        self._lib.rk_shake(
+            _ptr(positions), _ptr(np.ascontiguousarray(reference)),
+            _ptr(ci), _ptr(cj), _ptr(d2), _ptr(inv), _ptr(lengths),
+            len(ci), _ptr(order), _ptr(starts), len(starts) - 1,
+            solver.iterations, float(tol), _ptr(dref),
+        )
+        return positions
+
+    def rattle(self, solver, velocities, positions, tol):
+        pre = solver._compiled_arrays()
+        if pre is None:
+            return solver._rattle_numpy(velocities, positions, tol)
+        ci, cj, d2, inv, lengths, order, starts, dref, dx_all, d2_all = pre
+        self._lib.rk_rattle(
+            _ptr(velocities), _ptr(np.ascontiguousarray(positions)),
+            _ptr(ci), _ptr(cj), _ptr(inv), _ptr(lengths),
+            len(ci), _ptr(order), _ptr(starts), len(starts) - 1,
+            solver.iterations, float(tol), _ptr(dx_all), _ptr(d2_all),
+        )
+        return velocities
+
+
+_NUMPY_SUITE = NumpyKernels()
+_COMPILED_SUITE: CompiledKernels | None = None
+_warned = False
+
+
+def get_suite(tier: str | None = None):
+    """Resolve a kernel tier name to a suite instance.
+
+    ``tier=None`` consults ``REPRO_KERNEL_TIER`` (default ``"numpy"``).
+    An unavailable compiled tier falls back to NumPy with a one-time
+    warning rather than failing — identical numerics, just slower.
+    """
+    global _COMPILED_SUITE, _warned
+    if tier is None:
+        tier = os.environ.get("REPRO_KERNEL_TIER", "numpy")
+    if tier not in KERNEL_TIERS:
+        raise ValueError(f"unknown kernel_tier {tier!r}; expected one of {KERNEL_TIERS}")
+    if tier == "numpy":
+        return _NUMPY_SUITE
+    if _COMPILED_SUITE is None:
+        try:
+            _COMPILED_SUITE = CompiledKernels(load())
+        except KernelBuildError as exc:
+            if not _warned:
+                warnings.warn(
+                    f"compiled kernel tier unavailable ({exc}); "
+                    "falling back to the numpy tier",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                _warned = True
+            return _NUMPY_SUITE
+    return _COMPILED_SUITE

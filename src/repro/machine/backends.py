@@ -110,13 +110,24 @@ def _force_export_side(machine, pair_nodes: np.ndarray, atoms: np.ndarray):
 
 
 class MachineBackend:
-    """Strategy interface for one machine step's per-node execution."""
+    """Strategy interface for one machine step's per-node execution.
+
+    ``kernel_tier`` selects the hot-loop implementation suite
+    (:mod:`repro.kernels`): ``"numpy"`` (default) or ``"compiled"``
+    (lazily built C, falling back to numpy when no compiler exists).
+    Both tiers are bitwise identical, so the knob composes freely with
+    every backend and with fault-recovery replay.
+    """
 
     name = "base"
+    kernel_tier: str | None = None
 
     def bind(self, calc) -> None:
         """Attach to a MachineForceCalculator (called once by it)."""
         self.calc = calc
+        from repro.kernels import get_suite
+
+        self.kernels = get_suite(self.kernel_tier)
 
     def close(self) -> None:
         """Release any external resources (worker pools)."""
@@ -170,10 +181,9 @@ class SerialBackend(MachineBackend):
 
     def range_limited(self, calc, positions, force_codec, acc):
         m = calc.machine
-        nb = calc._range_limited(positions)
+        nb, codes = calc._range_limited_codes(positions, force_codec)
         with calc.timers.time("machine_nt_assign"):
             assign = nt_assign_pairs(m.decomp, positions, nb.i, nb.j)
-        codes = force_codec.quantize_round_only(nb.force)
         with calc.timers.time("machine_deposit"):
             self._deposit_by_node(calc, acc, assign.node, nb.i, nb.j, codes)
         return nb, assign
@@ -203,7 +213,7 @@ class SerialBackend(MachineBackend):
         # arithmetic plus a commutative reduction, so the row partition
         # is invisible in the bits.
         with t.time("mesh_plan"):
-            plan = gse.make_plan(positions)
+            plan = gse.make_plan(positions, kernels=self.kernels)
         mesh_acc = np.zeros(gse.mesh_point_count(), dtype=np.int64)
         node_rows = [np.nonzero(m.owners == n)[0] for n in range(m.topology.n_nodes)]
         with t.time("mesh_spread"):
@@ -215,11 +225,13 @@ class SerialBackend(MachineBackend):
                         gse.spread_contributions(
                             positions[rows], s.charges[rows], mesh_acc, calc.mesh_codec
                         )
-        Q = calc.mesh_codec.reconstruct(calc.mesh_codec.wrap(mesh_acc)).reshape(
-            tuple(gse.mesh)
-        )
-        with t.time("mesh_fft"):
+        with t.time("mesh_unquantize"):
+            Q = calc.mesh_codec.reconstruct(calc.mesh_codec.wrap(mesh_acc)).reshape(
+                tuple(gse.mesh)
+            )
+        with t.time("mesh_fft_traffic"):
             m.account_fft()
+        with t.time("mesh_fft"):
             phi, e_k = gse.solve(Q)
 
         # Force interpolation, per owning node.
@@ -280,6 +292,8 @@ class VectorizedBackend(MachineBackend):
         self._nt_tables: tuple[np.ndarray, np.ndarray] | None = None
         #: Shared mesh stencil plan, storage reused across steps.
         self._mesh_plan = None
+        #: Flat int64 mesh accumulator, reused across evaluations.
+        self._mesh_acc: np.ndarray | None = None
 
     def _assign_pairs(self, m, positions, i, j) -> NTAssignment:
         """NT assignment via the tabulated box-pair rule.
@@ -305,13 +319,15 @@ class VectorizedBackend(MachineBackend):
 
     def range_limited(self, calc, positions, force_codec, acc):
         m = calc.machine
-        nb = calc._range_limited(positions)
+        nb, codes = calc._range_limited_codes(positions, force_codec)
         with calc.timers.time("machine_nt_assign"):
             assign = self._assign_pairs(m, positions, nb.i, nb.j)
-        codes = force_codec.quantize_round_only(nb.force)
         with calc.timers.time("machine_deposit"):
-            acc.deposit(nb.i, codes)
-            acc.deposit(nb.j, -codes)
+            if self.kernels.tier == "compiled":
+                self.kernels.deposit_pairs(acc.raw(), nb.i, nb.j, codes)
+            else:
+                acc.deposit(nb.i, codes)
+                acc.deposit(nb.j, -codes)
         return nb, assign
 
     def deposit_bonded(self, calc, acc, bonded, force_codec) -> None:
@@ -321,31 +337,49 @@ class VectorizedBackend(MachineBackend):
                 acc.deposit(contrib.idx.ravel(), c.reshape(-1, 3))
 
     def deposit_corrections(self, calc, acc, corr, ccodes) -> None:
-        acc.deposit(corr.i, ccodes)
-        acc.deposit(corr.j, -ccodes)
+        if self.kernels.tier == "compiled":
+            self.kernels.deposit_pairs(acc.raw(), corr.i, corr.j, ccodes)
+        else:
+            acc.deposit(corr.i, ccodes)
+            acc.deposit(corr.j, -ccodes)
 
     def mesh_long_range(self, calc, positions, acc, force_codec) -> float:
         s, m, gse = calc.system, calc.machine, calc.gse
         t = calc.timers
         # The stencil plan is built once per evaluation and shared by
         # the spreading and interpolation passes (the old path rebuilt
-        # the weights in each); its storage persists across steps.
+        # the weights in each); its storage persists across steps, as
+        # does the flat mesh accumulator (zero-filled, never
+        # reallocated, on the steady-state path).
         with t.time("mesh_plan"):
-            self._mesh_plan = gse.make_plan(positions, out=self._mesh_plan)
+            self._mesh_plan = gse.make_plan(
+                positions, out=self._mesh_plan, kernels=self.kernels
+            )
         plan = self._mesh_plan
-        mesh_acc = np.zeros(gse.mesh_point_count(), dtype=np.int64)
+        if self._mesh_acc is None or self._mesh_acc.shape[0] != gse.mesh_point_count():
+            self._mesh_acc = np.zeros(gse.mesh_point_count(), dtype=np.int64)
+        else:
+            self._mesh_acc[...] = 0
+        mesh_acc = self._mesh_acc
         with t.time("mesh_spread"):
             if plan is not None:
-                plan.spread_codes(s.charges, mesh_acc, calc.mesh_codec)
+                plan.spread_codes(
+                    s.charges, mesh_acc, calc.mesh_codec, kernels=self.kernels
+                )
             else:
                 gse.spread_contributions(
                     positions, s.charges, mesh_acc, calc.mesh_codec, chunk=_GSE_CHUNK
                 )
-        Q = calc.mesh_codec.reconstruct(calc.mesh_codec.wrap(mesh_acc)).reshape(
-            tuple(gse.mesh)
-        )
-        with t.time("mesh_fft"):
+        with t.time("mesh_unquantize"):
+            Q = calc.mesh_codec.reconstruct(calc.mesh_codec.wrap(mesh_acc)).reshape(
+                tuple(gse.mesh)
+            )
+        # FFT traffic accounting and the FFT solve are separate phases:
+        # the former is simulated-machine bookkeeping, the latter engine
+        # compute, and the overhead attribution must tell them apart.
+        with t.time("mesh_fft_traffic"):
             m.account_fft()
+        with t.time("mesh_fft"):
             phi, e_k = gse.solve(Q)
         with t.time("mesh_interp"):
             if plan is not None:
@@ -613,13 +647,23 @@ _BACKENDS = {
 }
 
 
-def make_backend(backend) -> MachineBackend:
-    """Resolve a backend name (or pass through an instance)."""
+def make_backend(backend, kernel_tier: str | None = None) -> MachineBackend:
+    """Resolve a backend name (or pass through an instance).
+
+    ``kernel_tier`` selects the hot-loop suite (``"numpy"`` or
+    ``"compiled"``); ``None`` defers to the instance's own setting and
+    ultimately the ``REPRO_KERNEL_TIER`` environment variable.
+    """
     if isinstance(backend, MachineBackend):
+        if kernel_tier is not None:
+            backend.kernel_tier = kernel_tier
         return backend
     try:
-        return _BACKENDS[backend]()
+        out = _BACKENDS[backend]()
     except KeyError:
         raise ValueError(
             f"unknown backend {backend!r}; expected one of {sorted(_BACKENDS)}"
         ) from None
+    if kernel_tier is not None:
+        out.kernel_tier = kernel_tier
+    return out

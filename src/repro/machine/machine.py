@@ -77,6 +77,95 @@ class MachineForceCalculator(ForceCalculator):
         self.machine = machine
         self.backend = backend
         backend.bind(self)
+        self.kernels = backend.kernels
+        # The neighbor list shares the backend's kernel suite (compiled
+        # cutoff filtering when available).
+        self.neighbor_list.kernels = backend.kernels
+        # Steady-state scratch: the fused-kernel pair outputs and the
+        # short/long force accumulators are allocated once and reused,
+        # so repeated steps allocate nothing on the hot path.
+        self._pair_spec = None
+        self._pair_spec_codec = None
+        self._pair_out: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+        self._acc_short: FixedAccumulator | None = None
+        self._acc_long: FixedAccumulator | None = None
+
+    # -- scratch management -------------------------------------------------
+
+    def _accumulator(self, slot: str, force_codec) -> FixedAccumulator:
+        """A zeroed per-evaluation accumulator from the reuse pool.
+
+        Two slots ("short", "long") exist because the long-range pass
+        runs while the short-range accumulator is live.  Callers
+        consume ``acc.raw()``/``acc.total()`` before the next evaluation
+        (the MTS provider and :meth:`compute_fixed` both do), so reuse
+        is invisible.
+        """
+        acc = getattr(self, "_acc_" + slot)
+        shape = (self.system.n_atoms, 3)
+        if acc is None or acc.shape != shape or acc.fmt != force_codec.fmt:
+            acc = FixedAccumulator(shape, force_codec.fmt)
+            setattr(self, "_acc_" + slot, acc)
+        else:
+            acc.zero()
+        return acc
+
+    def _pair_buffers(self, n: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(codes, e_lj, e_coul) output scratch for >= ``n`` pairs."""
+        out = self._pair_out
+        if out is None or out[0].shape[0] < n:
+            cap = max(int(n * 1.25), 1024)
+            out = (
+                np.empty((cap, 3), dtype=np.int64),
+                np.empty(cap, dtype=np.float64),
+                np.empty(cap, dtype=np.float64),
+            )
+            self._pair_out = out
+        return out
+
+    # -- fused range-limited path -------------------------------------------
+
+    def _range_limited_codes(self, positions, force_codec):
+        """Range-limited pair result plus quantized int64 force codes.
+
+        On the compiled tier with tabulated kernels this runs the fused
+        C kernel (table evaluation straight to codes, no intermediate
+        float force array); otherwise it is the classic NumPy path with
+        the quantization charged to an explicit ``machine_quantize``
+        phase.  Codes (and energies) are bitwise identical either way.
+        """
+        k = self.kernels
+        if k.tier == "compiled" and self.tables is not None:
+            from repro.forcefield.nonbonded import NonbondedResult
+            from repro.kernels import make_pair_spec
+
+            s = self.system
+            with self.timers.time("pair_list"):
+                pairs = self.neighbor_list.pairs(positions)
+            with self.timers.time("range_limited"):
+                if self._pair_spec is None or self._pair_spec_codec is not force_codec:
+                    self._pair_spec = make_pair_spec(
+                        self.tables, s.lj, s.charges, s.type_ids, force_codec
+                    )
+                    self._pair_spec_codec = force_codec
+                n = len(pairs.i)
+                codes, e_lj, e_coul = self._pair_buffers(n)
+                k.pair_table_codes(
+                    self._pair_spec, pairs.i, pairs.j, pairs.dx, pairs.r2,
+                    codes, e_lj, e_coul,
+                )
+                nb = NonbondedResult(
+                    energy_lj=float(np.sum(e_lj[:n])),
+                    energy_coul=float(np.sum(e_coul[:n])),
+                    i=pairs.i,
+                    j=pairs.j,
+                    force=None,
+                )
+            return nb, codes[:n]
+        nb = self._range_limited(positions)
+        with self.timers.time("machine_quantize"):
+            codes = force_codec.quantize_round_only(nb.force)
+        return nb, codes
 
     # -- overridden force paths ---------------------------------------------
 
@@ -84,7 +173,7 @@ class MachineForceCalculator(ForceCalculator):
         s = self.system
         m = self.machine
         before = self.timers.snapshot()
-        acc = FixedAccumulator((s.n_atoms, 3), force_codec.fmt)
+        acc = self._accumulator("short", force_codec)
         energies: dict[str, float] = {}
 
         # Range-limited pairs: computed on their NT nodes.
@@ -107,18 +196,21 @@ class MachineForceCalculator(ForceCalculator):
             acc.deposit_dense(long_codes)
             energies.update(long_energies)
 
-        total = self._spread_vsite_codes(acc.total())
-        report = ForceReport(
-            forces=force_codec.reconstruct(total),
-            energies=energies,
-            n_pairs=nb.n_pairs,
-            timings=self.timers.delta_since(before),
-        )
+        # Final assembly (accumulator readout, virtual-site spreading,
+        # float reconstruction) is charged to its own leaf phase so the
+        # profiler's attribution stays tight.
+        with self.timers.time("machine_collect"):
+            total = self._spread_vsite_codes(acc.total())
+            report = ForceReport(
+                forces=force_codec.reconstruct(total),
+                energies=energies,
+                n_pairs=nb.n_pairs,
+                timings=self.timers.delta_since(before),
+            )
         return total, report
 
     def compute_long_fixed(self, positions, force_codec):
-        s = self.system
-        acc = FixedAccumulator((s.n_atoms, 3), force_codec.fmt)
+        acc = self._accumulator("long", force_codec)
 
         # Correction pairs on their owners' correction pipelines.
         corr = self._corrections(positions)
@@ -157,6 +249,12 @@ class AntonMachine:
         Execution strategy: ``"serial"``, ``"vectorized"`` (default),
         ``"process"``, or a :class:`~repro.machine.backends.MachineBackend`
         instance.  State codes are bitwise identical across all of them.
+    kernel_tier:
+        Hot-loop implementation suite: ``"numpy"`` or ``"compiled"``
+        (lazily built C via :mod:`repro.kernels`, falling back to numpy
+        without a compiler).  ``None`` defers to the
+        ``REPRO_KERNEL_TIER`` environment variable.  Bitwise identical
+        across tiers, so it never appears in fingerprints.
     faults:
         Optional fault injection: a :class:`~repro.fault.FaultSchedule`,
         a rates dict, or a ``--faults``-style spec string (e.g.
@@ -186,6 +284,7 @@ class AntonMachine:
         constraints: bool = True,
         hw: AntonHardware = ANTON_2008,
         backend="vectorized",
+        kernel_tier: str | None = None,
         faults=None,
         fault_seed: int = 0,
         recovery: RecoveryPolicy | None = None,
@@ -215,12 +314,15 @@ class AntonMachine:
         self.dfft = None
         if all(mm % d == 0 for mm, d in zip(params.mesh, self.topology.dims)):
             self.dfft = DistributedFFT3D(params.mesh, self.topology, self.network)
-        self.backend = make_backend(backend)
+        self.backend = make_backend(backend, kernel_tier)
         self.calc = MachineForceCalculator(system, params, self, self.backend)
         self.provider = MTSForceProvider(self.calc, force_codec=fixed_config.force_codec())
         solver = None
         if constraints and system.topology.n_constraints:
-            solver = ConstraintSolver(system.topology, system.masses, system.box)
+            solver = ConstraintSolver(
+                system.topology, system.masses, system.box,
+                kernels=self.backend.kernels,
+            )
         self.last_pair_assignment = None
         self.integrator = FixedPointIntegrator(
             system,
@@ -538,9 +640,13 @@ class AntonMachine:
 
         Returns per-step seconds for every phase recorded under the
         ``machine_step`` umbrella, nested exactly as the phases ran
-        (``step -> force -> machine_mesh -> mesh_spread``...), plus a
-        ``coverage`` ratio: the fraction of the measured step wall time
-        accounted for by its top-level children.
+        (``step -> force -> machine_mesh -> mesh_spread``...), plus two
+        attribution ratios: ``coverage``, the fraction of the measured
+        step wall time accounted for by its top-level children, and the
+        stricter ``leaf_coverage``, the fraction attributed all the way
+        down to *named leaf phases* — time inside a parent phase but in
+        none of its children counts as unattributed, so this is the
+        number that exposes hidden per-step bookkeeping.
         """
         t = self.calc.timers
         steps = max(self.integrator.step_count, 1)
@@ -557,12 +663,19 @@ class AntonMachine:
                 )
             }
 
+        def leaf_seconds(entry: dict) -> float:
+            if not entry["children"]:
+                return entry["seconds"]
+            return sum(leaf_seconds(c) for c in entry["children"].values())
+
         phases = t.tree("machine_step")
         covered = sum(entry["seconds"] for entry in phases.values())
+        leaf_covered = sum(leaf_seconds(entry) for entry in phases.values())
         out = {
             "steps": self.integrator.step_count,
             "wall_per_step": total / steps,
             "coverage": covered / total if total > 0.0 else 0.0,
+            "leaf_coverage": leaf_covered / total if total > 0.0 else 0.0,
             "phases": scale(phases),
         }
         if self.fault_controller is not None:

@@ -1,0 +1,180 @@
+"""Integration: the compiled kernel tier is invisible in the artifacts.
+
+``kernel_tier="compiled"`` swaps the hot loops (pair filter, tabulated
+force evaluation, deposits, mesh stencil) for C kernels.  The contract
+is byte-level: a full machine run on the compiled tier must produce
+the *same files* — trajectory and checkpoint — as the NumPy tier, heal
+identically through injected faults, and degrade gracefully to NumPy
+when no compiler exists.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import MDParams, minimize_energy
+from repro.io import CheckpointStore
+from repro.io.serialize import pack_state
+from repro.kernels import available, get_suite
+from repro.machine import AntonMachine
+from repro.systems import build_water_box
+
+MACHINE_PARAMS = MDParams(
+    cutoff=4.0,
+    mesh=(16, 16, 16),
+    kernel_mode="table",
+    long_range_every=2,
+    quantize_mesh_bits=40,
+)
+
+needs_compiler = pytest.mark.skipif(
+    not available(), reason="no C compiler: compiled kernel tier unavailable"
+)
+
+
+@pytest.fixture(scope="module")
+def base_system():
+    system = build_water_box(n_molecules=24, seed=11)
+    minimize_energy(system, MACHINE_PARAMS, max_steps=30)
+    system.initialize_velocities(300.0, seed=12)
+    return system
+
+
+def make_machine(base_system, tier, **kwargs):
+    return AntonMachine(
+        base_system.copy(), MACHINE_PARAMS, n_nodes=8, dt=1.0,
+        backend=kwargs.pop("backend", "vectorized"), kernel_tier=tier,
+        **kwargs,
+    )
+
+
+class TestCompiledTierArtifacts:
+    @needs_compiler
+    def test_trajectory_and_checkpoints_byte_identical(self, base_system, tmp_path):
+        """Files on disk, not just in-memory state, match across tiers."""
+        paths = {}
+        for tier in ("numpy", "compiled"):
+            machine = make_machine(base_system, tier)
+            traj_path = tmp_path / f"{tier}.traj"
+            store = CheckpointStore(tmp_path / f"ck_{tier}")
+            try:
+                with machine.open_trajectory(traj_path) as traj:
+                    machine.run(
+                        6, trajectory=traj, trajectory_every=2,
+                        checkpoint_store=store, checkpoint_every=3,
+                    )
+                assert machine.backend.kernels.tier == tier
+                paths[tier] = (traj_path, [store.path_for(s) for s in store.steps()],
+                               machine.state_codes())
+            finally:
+                machine.close()
+
+        traj_n, cks_n, codes_n = paths["numpy"]
+        traj_c, cks_c, codes_c = paths["compiled"]
+        assert traj_n.read_bytes() == traj_c.read_bytes()
+        assert len(cks_n) == len(cks_c) == 2
+        for a, b in zip(cks_n, cks_c):
+            assert a.read_bytes() == b.read_bytes()
+        for a, b in zip(codes_n, codes_c):
+            np.testing.assert_array_equal(a, b)
+
+    @needs_compiler
+    @pytest.mark.parametrize("backend", ["serial", "vectorized"])
+    def test_state_codes_identical_per_backend(self, base_system, backend):
+        out = {}
+        for tier in ("numpy", "compiled"):
+            machine = make_machine(base_system, tier, backend=backend)
+            try:
+                machine.run(4)
+                out[tier] = pack_state(machine.checkpoint())
+            finally:
+                machine.close()
+        assert out["numpy"] == out["compiled"]
+
+    @needs_compiler
+    def test_fault_recovery_heals_to_numpy_bits(self, base_system):
+        """A faulted compiled-tier run replays back to the clean NumPy bits.
+
+        Fault replay re-executes steps through the same compiled kernels;
+        if any kernel were stateful or order-sensitive the healed bits
+        would drift.  Exact-count schedules only fire under ``run()``.
+        """
+        clean = make_machine(base_system, "numpy")
+        try:
+            clean.run(8)
+            want = pack_state(clean.checkpoint())
+        finally:
+            clean.close()
+
+        chaos = make_machine(
+            base_system, "compiled",
+            faults={"drop": 2, "corrupt": 1}, fault_seed=3,
+        )
+        try:
+            chaos.run(8)
+            report = chaos.fault_report()
+            assert report["injected"] > 0
+            assert pack_state(chaos.checkpoint()) == want
+        finally:
+            chaos.close()
+
+    @needs_compiler
+    def test_profile_attribution_covers_step(self):
+        """Named leaf phases account for >=90% of machine_step wall time.
+
+        Needs a realistically sized system: on a toy box the fixed
+        Python glue (~0.3 ms/step of timer entry and dispatch) is a
+        visible fraction of a ~2 ms step and attribution drops below
+        the bar that holds at benchmark scale.
+        """
+        params = MDParams(
+            cutoff=4.0, mesh=(32, 32, 32), kernel_mode="table",
+            long_range_every=2, quantize_mesh_bits=40,
+        )
+        system = build_water_box(n_molecules=150, seed=11)
+        minimize_energy(system, params, max_steps=15)
+        system.initialize_velocities(300.0, seed=12)
+        machine = AntonMachine(
+            system, params, n_nodes=8, dt=1.0,
+            backend="vectorized", kernel_tier="compiled",
+        )
+        try:
+            # Enough steps to amortize first-step lazy builds (plan
+            # allocation, table spec) that profile() cannot exclude.
+            machine.run(16)
+            prof = machine.profile()
+        finally:
+            machine.close()
+        assert prof["leaf_coverage"] >= 0.90
+        assert prof["coverage"] >= 0.95
+
+
+class TestNumpyFallback:
+    def test_no_compiler_falls_back_with_warning(self, base_system, monkeypatch):
+        """kernel_tier='compiled' without a compiler: warn once, run NumPy."""
+        from repro.kernels import build, suite
+
+        def broken_load():
+            raise build.KernelBuildError("no working C compiler (simulated)")
+
+        monkeypatch.setattr(suite, "load", broken_load)
+        monkeypatch.setattr(suite, "_COMPILED_SUITE", None)
+        monkeypatch.setattr(suite, "_warned", False)
+
+        with pytest.warns(RuntimeWarning, match="falling back to the numpy tier"):
+            fallback = get_suite("compiled")
+        assert fallback.tier == "numpy"
+
+        machine = make_machine(base_system, "compiled")
+        try:
+            assert machine.backend.kernels.tier == "numpy"
+            machine.run(2)
+            packed = pack_state(machine.checkpoint())
+        finally:
+            machine.close()
+
+        reference = make_machine(base_system, "numpy")
+        try:
+            reference.run(2)
+            assert pack_state(reference.checkpoint()) == packed
+        finally:
+            reference.close()

@@ -1,0 +1,186 @@
+"""Property-based tests: compiled kernel tier == NumPy tier, bitwise.
+
+The compiled tier's entire contract is that it is *invisible in the
+bits*: every C kernel replicates its NumPy expression operation for
+operation (same association order, same rounding, int64 accumulation
+through uint64 so overflow wraps identically).  These properties drive
+randomized inputs — including overflow-scale codes and cutoff-edge
+distances — through both tiers and require exact array equality.
+
+Skipped wholesale when the host has no C compiler; the NumPy tier is
+the reference and needs no self-test here.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import MDParams, minimize_energy
+from repro.kernels import available, get_suite, make_pair_spec
+from repro.machine import AntonMachine
+from repro.systems import build_water_box
+
+pytestmark = pytest.mark.skipif(
+    not available(), reason="no C compiler: compiled kernel tier unavailable"
+)
+
+I64 = np.iinfo(np.int64)
+
+
+@pytest.fixture(scope="module")
+def tiers():
+    return get_suite("numpy"), get_suite("compiled")
+
+
+@pytest.fixture(scope="module")
+def table_machine():
+    """A small tabulated-kernel machine supplying real tables/codecs."""
+    params = MDParams(
+        cutoff=4.0, mesh=(32, 32, 32), kernel_mode="table",
+        long_range_every=2, quantize_mesh_bits=40,
+    )
+    system = build_water_box(n_molecules=24, seed=11)
+    minimize_energy(system, params, max_steps=20)
+    system.initialize_velocities(300.0, seed=12)
+    machine = AntonMachine(
+        system.copy(), params, n_nodes=8, dt=1.0, backend="vectorized",
+        kernel_tier="numpy",
+    )
+    yield machine
+    machine.close()
+
+
+@given(seed=st.integers(0, 2**31 - 1), n=st.integers(0, 400))
+@settings(max_examples=40, deadline=None)
+def test_scatter_add_bitwise_including_wrap(tiers, seed, n):
+    """Flat int64 scatter-add: identical bits even at overflow scale."""
+    numpy_k, compiled_k = tiers
+    rng = np.random.default_rng(seed)
+    size = 64
+    keys = rng.integers(0, size, n)
+    # Mix ordinary magnitudes with near-limit ones so sums wrap.
+    codes = rng.integers(-(2**62), 2**62, n)
+    big = rng.random(n) < 0.25
+    codes[big] = rng.choice([I64.min, I64.max, I64.max - 1], size=int(big.sum()))
+    a = rng.integers(-(2**62), 2**62, size)
+    b = a.copy()
+    numpy_k.scatter_add(a, keys, codes)
+    compiled_k.scatter_add(b, keys, codes)
+    np.testing.assert_array_equal(a, b)
+
+
+@given(seed=st.integers(0, 2**31 - 1), n=st.integers(0, 300))
+@settings(max_examples=40, deadline=None)
+def test_deposit_pairs_bitwise(tiers, seed, n):
+    """Newton-pair deposit (+codes at i, -codes at j), identical bits."""
+    numpy_k, compiled_k = tiers
+    rng = np.random.default_rng(seed)
+    n_atoms = 50
+    i = rng.integers(0, n_atoms, n)
+    j = rng.integers(0, n_atoms, n)
+    codes = rng.integers(-(2**62), 2**62, (n, 3))
+    a = rng.integers(-(2**60), 2**60, (n_atoms, 3))
+    b = a.copy()
+    numpy_k.deposit_pairs(a, i, j, codes)
+    compiled_k.deposit_pairs(b, i, j, codes)
+    np.testing.assert_array_equal(a, b)
+
+
+@given(seed=st.integers(0, 2**31 - 1))
+@settings(max_examples=30, deadline=None)
+def test_pair_filter_bitwise(tiers, seed):
+    """Minimum-image cutoff filter: same survivors, same dx/r2 bits."""
+    numpy_k, compiled_k = tiers
+    rng = np.random.default_rng(seed)
+    n_atoms, n_cand = 60, 500
+    L = np.array([11.0, 13.0, 9.5])
+    wrapped = rng.uniform(0, 1, (n_atoms, 3)) * L
+    ii = rng.integers(0, n_atoms, n_cand)
+    jj = rng.integers(0, n_atoms, n_cand)
+    cutoff2 = 4.0**2
+    outs = []
+    for k in (numpy_k, compiled_k):
+        oi = np.empty(n_cand, dtype=np.int64)
+        oj = np.empty(n_cand, dtype=np.int64)
+        odx = np.empty((n_cand, 3))
+        or2 = np.empty(n_cand)
+        m = k.pair_filter(wrapped, ii, jj, L, cutoff2, oi, oj, odx, or2)
+        outs.append((m, oi[:m].copy(), oj[:m].copy(), odx[:m].copy(), or2[:m].copy()))
+    (mn, *an), (mc, *ac) = outs
+    assert mn == mc
+    for x, y in zip(an, ac):
+        np.testing.assert_array_equal(x, y)
+
+
+@given(seed=st.integers(0, 2**31 - 1), n=st.integers(1, 400))
+@settings(max_examples=30, deadline=None)
+def test_pair_table_codes_bitwise(tiers, table_machine, seed, n):
+    """Fused tabulated force/energy/quantize kernel vs the NumPy tier.
+
+    Random pair geometries including cutoff-edge r² (0, the cutoff²
+    itself, and just inside) must give identical int64 force codes and
+    identical per-pair energy bits.
+    """
+    numpy_k, compiled_k = tiers
+    calc = table_machine.calc
+    s = calc.system
+    codec = table_machine.fixed_config.force_codec()
+    spec = make_pair_spec(calc.tables, s.lj, s.charges, s.type_ids, codec)
+    rng = np.random.default_rng(seed)
+    cutoff = float(calc.tables.cutoff)
+    i = rng.integers(0, s.n_atoms, n)
+    j = rng.integers(0, s.n_atoms, n)
+    dx = rng.normal(0, cutoff / 3, (n, 3))
+    r2 = np.sum(dx * dx, axis=1)
+    # Force some edge distances into the batch.
+    r2[0] = 0.0
+    if n > 2:
+        r2[1] = np.nextafter(cutoff**2, 0.0)
+        r2[2] = cutoff**2 * rng.random()
+    outs = []
+    for k in (numpy_k, compiled_k):
+        codes = np.empty((n, 3), dtype=np.int64)
+        e_lj = np.empty(n)
+        e_coul = np.empty(n)
+        k.pair_table_codes(spec, i, j, dx, r2, codes, e_lj, e_coul)
+        outs.append((codes, e_lj, e_coul))
+    for x, y in zip(*outs):
+        np.testing.assert_array_equal(x, y)
+
+
+@given(seed=st.integers(0, 2**31 - 1), n=st.integers(0, 200))
+@settings(max_examples=30, deadline=None)
+def test_mesh_spread_bitwise(tiers, seed, n):
+    """Quantized stencil scatter: rint(w*qc) int64 deposit, same bits."""
+    numpy_k, compiled_k = tiers
+    rng = np.random.default_rng(seed)
+    k_sten, n_mesh = 27, 4096
+    flat = rng.integers(0, n_mesh, (n, k_sten)).astype(np.int32)
+    w2 = rng.uniform(-1, 1, (n, k_sten))
+    qc = rng.uniform(-1e6, 1e6, n)
+    a = rng.integers(-(2**40), 2**40, n_mesh)
+    b = a.copy()
+    numpy_k.mesh_spread(a, flat, w2, qc)
+    compiled_k.mesh_spread(b, flat, w2, qc)
+    np.testing.assert_array_equal(a, b)
+
+
+@given(seed=st.integers(0, 2**31 - 1))
+@settings(max_examples=20, deadline=None)
+def test_mesh_plan_build_bitwise(tiers, seed):
+    """Full stencil-plan build (weights, mask, indices) across tiers."""
+    from repro.ewald.gse import GSEParams, GaussianSplitEwald
+    from repro.geometry import Box
+
+    numpy_k, compiled_k = tiers
+    rng = np.random.default_rng(seed)
+    box = Box(np.array([17.0, 17.0, 17.0]))
+    gse = GaussianSplitEwald(box, GSEParams.choose(box, 4.0, (32, 32, 32)))
+    pos = rng.uniform(-5.0, 22.0, (40, 3))  # wrap() handles out-of-box
+    pn = gse.make_plan(pos, kernels=numpy_k)
+    pc = gse.make_plan(pos, kernels=compiled_k)
+    np.testing.assert_array_equal(pn.w, pc.w)
+    np.testing.assert_array_equal(pn.flat, pc.flat)
+    for a, b in zip(pn.axis_d, pc.axis_d):
+        np.testing.assert_array_equal(a, b)
