@@ -1,0 +1,223 @@
+#!/usr/bin/env python
+"""Batched-ensemble aggregate throughput vs sequential solo runs.
+
+The production metric the ROADMAP targets is aggregate ensemble
+throughput — total replica-steps per second across many concurrent
+simulations — not single-run latency.  This benchmark times the
+batched :class:`~repro.ensemble.EnsembleSimulation` at R in {1, 4, 16}
+under both kernel tiers and reports the ratio against the sequential
+baseline: R independent solo :class:`~repro.core.Simulation` runs
+executed one after the other (whose aggregate steps/sec equals one
+solo run's steps/sec, so a single timed solo run suffices).
+
+The bitwise contract is asserted inside the timing sweep, not just in
+the test suite: replica 0 of every batched run must finish with state
+codes identical to the solo baseline run seeded the same way.
+
+Gates (full mode): ratio >= 3.0 at R=16 on the compiled tier.
+Gates (smoke mode): ratio > 1.5 at R=4 on the compiled tier.
+
+Usage:
+    python benchmarks/bench_ensemble_throughput.py          # full sweep + JSON
+    python benchmarks/bench_ensemble_throughput.py --smoke  # small CI gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core import MDParams, Simulation, minimize_energy  # noqa: E402
+from repro.ensemble import EnsembleSimulation, derive_replica_seeds  # noqa: E402
+from repro.kernels import available as kernels_available  # noqa: E402
+from repro.systems import build_water_box  # noqa: E402
+
+RESULTS = Path(__file__).resolve().parent / "results"
+
+#: Aggregate-throughput ratio the full run must reach at the headline
+#: replica count on the compiled tier.
+HEADLINE_REPLICAS = 16
+HEADLINE_MIN_RATIO = 3.0
+#: Smoke-mode gate: ratio at R=4, compiled tier.
+SMOKE_REPLICAS = 4
+SMOKE_MIN_RATIO = 1.5
+
+#: Steps run before the timing window opens (neighbor-list build,
+#: mesh-plan construction, compiled-kernel load, first-touch scratch).
+WARMUP_STEPS = 2
+
+TEMPERATURE = 300.0
+BASE_SEED = 7
+
+
+def build_base(n_molecules: int, cutoff: float, params_kwargs=None):
+    base = build_water_box(n_molecules=n_molecules, seed=BASE_SEED)
+    params = MDParams(
+        cutoff=min(cutoff, base.box.max_cutoff() * 0.9),
+        mesh=(16, 16, 16),
+        long_range_every=2,
+        kernel_mode="table",
+        **(params_kwargs or {}),
+    )
+    minimize_energy(base, params, max_steps=30)
+    return base, params
+
+
+def time_solo(base, params, seed: int, steps: int):
+    """(steps/sec, final state codes) for one solo run.
+
+    R sequential solo runs have the same aggregate steps/sec as one
+    (each run gets the machine to itself), so one timed run is the
+    sequential-ensemble baseline for every R.
+    """
+    ss = base.copy()
+    ss.initialize_velocities(TEMPERATURE, seed=seed)
+    solo = Simulation(ss, params, dt=1.0, constraints=True)
+    solo.run(WARMUP_STEPS)
+    t0 = time.perf_counter()
+    solo.run(steps)
+    wall = time.perf_counter() - t0
+    return steps / wall, (solo.integrator.X.copy(), solo.integrator.V.copy())
+
+
+def time_ensemble(base, params, seeds, tier: str, steps: int):
+    """(aggregate steps/sec, replica-0 state codes) for one batched run."""
+    ens = EnsembleSimulation(
+        base, params, dt=1.0, seeds=list(seeds),
+        temperature=TEMPERATURE, constraints=True, kernel_tier=tier,
+    )
+    ens.run(WARMUP_STEPS)
+    t0 = time.perf_counter()
+    ens.run(steps)
+    wall = time.perf_counter() - t0
+    return len(seeds) * steps / wall, ens.state_codes(0)
+
+
+def sweep(base, params, replica_counts, tiers, steps: int):
+    seeds = derive_replica_seeds(BASE_SEED, max(replica_counts))
+    solo_sps, solo_state = time_solo(base, params, seeds[0], steps)
+    print(f"  solo baseline: {solo_sps:8.1f} steps/s "
+          f"(= sequential aggregate at every R)")
+    entries = []
+    for tier in tiers:
+        for r in replica_counts:
+            agg, state0 = time_ensemble(base, params, seeds[:r], tier, steps)
+            same = bool(
+                np.array_equal(state0[0], solo_state[0])
+                and np.array_equal(state0[1], solo_state[1])
+            )
+            ratio = agg / solo_sps
+            print(f"  R={r:<3} tier={tier:<9} {agg:8.1f} agg steps/s   "
+                  f"ratio {ratio:5.2f}x   replica0==solo: {same}")
+            if not same:
+                raise SystemExit(
+                    f"FAIL: replica 0 diverged from solo (R={r}, tier={tier})"
+                )
+            entries.append({
+                "replicas": r,
+                "kernel_tier": tier,
+                "aggregate_steps_per_sec": agg,
+                "ratio_vs_sequential_solo": ratio,
+                "replica0_bitwise_identical_to_solo": same,
+            })
+    return solo_sps, entries
+
+
+def gate_ratio(entries, replicas: int, tier: str) -> float | None:
+    for e in entries:
+        if e["replicas"] == replicas and e["kernel_tier"] == tier:
+            return e["ratio_vs_sequential_solo"]
+    return None
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--smoke", action="store_true",
+                    help="small fast run gating the R=4 compiled ratio > 1.5x")
+    ap.add_argument("--steps", type=int, default=20)
+    ap.add_argument("--out", type=Path,
+                    default=RESULTS / "BENCH_ensemble_throughput.json")
+    args = ap.parse_args(argv)
+
+    tiers = ["numpy"]
+    if kernels_available():
+        tiers.append("compiled")
+    else:
+        print("note: no C compiler found — compiled-tier entries skipped")
+
+    if args.smoke:
+        base, params = build_base(64, cutoff=5.5)
+        print(f"smoke: {base.n_atoms} atoms/replica")
+        _, entries = sweep(base, params, [1, SMOKE_REPLICAS], tiers,
+                           steps=min(args.steps, 10))
+        if "compiled" in tiers:
+            ratio = gate_ratio(entries, SMOKE_REPLICAS, "compiled")
+            if ratio <= SMOKE_MIN_RATIO:
+                raise SystemExit(
+                    f"FAIL: compiled R={SMOKE_REPLICAS} ratio {ratio:.2f}x "
+                    f"<= {SMOKE_MIN_RATIO}x"
+                )
+        print("OK")
+        return 0
+
+    base, params = build_base(250, cutoff=9.0)
+    print(f"full: {base.n_atoms} atoms/replica, box {base.box.lengths[0]:.1f} A, "
+          f"cutoff {params.cutoff:.1f} A")
+    solo_sps, entries = sweep(base, params, [1, 4, HEADLINE_REPLICAS], tiers,
+                              steps=args.steps)
+    headline = gate_ratio(entries, HEADLINE_REPLICAS, "compiled")
+    payload = {
+        "bench": "ensemble_throughput",
+        "system": {
+            "n_atoms_per_replica": base.n_atoms,
+            "cutoff": params.cutoff,
+            "mesh": list(params.mesh),
+            "kernel_mode": params.kernel_mode,
+            "long_range_every": params.long_range_every,
+        },
+        "steps": args.steps,
+        "warmup_steps": WARMUP_STEPS,
+        "solo_steps_per_sec": solo_sps,
+        "sweep": entries,
+        "headline": {
+            "replicas": HEADLINE_REPLICAS,
+            "kernel_tier": "compiled",
+            "ratio_vs_sequential_solo": headline,
+            "required_ratio": HEADLINE_MIN_RATIO,
+        },
+        "notes": (
+            "aggregate steps/sec = R * steps / wall for one batched run; the "
+            "sequential-solo baseline's aggregate equals a single solo run's "
+            "steps/sec (runs execute one at a time). The solo engine has one "
+            "tier, so both ensemble tiers gate against the same baseline. "
+            "Replica 0 of every timed run is verified bitwise identical to "
+            "the solo baseline seeded identically — the speedup never buys "
+            "back determinism. numpy-tier ratios hover near 1x at this size "
+            "(kernel-bound); the compiled tier exposes the per-step dispatch "
+            "that batching amortizes."
+        ),
+    }
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    if "compiled" in tiers:
+        if headline < HEADLINE_MIN_RATIO:
+            raise SystemExit(
+                f"FAIL: compiled R={HEADLINE_REPLICAS} ratio {headline:.2f}x "
+                f"< {HEADLINE_MIN_RATIO}x"
+            )
+    else:
+        print("warning: compiled tier unavailable — headline gate not evaluated")
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

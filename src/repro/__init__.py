@@ -38,6 +38,11 @@ from repro.core import (
     minimize_energy,
     run_npt,
 )
+from repro.ensemble import (
+    EnsembleSimulation,
+    derive_replica_seeds,
+    parse_seed_spec,
+)
 from repro.fault import (
     FaultEvent,
     FaultSchedule,
@@ -83,6 +88,9 @@ __all__ = [
     "minimize_energy",
     "CheckpointStore",
     "EnergyLogWriter",
+    "EnsembleSimulation",
+    "derive_replica_seeds",
+    "parse_seed_spec",
     "FaultEvent",
     "FaultSchedule",
     "RecoveryPolicy",

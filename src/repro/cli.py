@@ -3,6 +3,7 @@
 Commands
 --------
 simulate   build a benchmark system (at reduced scale) and run MD
+ensemble   batch R replicas through one engine pass per step
 machine    run the functional multi-node machine and report traffic
 perf       print the performance model's Table 2 profile / Figure 5 rate
 traj       inspect, dump, or CRC-verify a trajectory file
@@ -63,6 +64,50 @@ def _add_store_flags(p, energy_log: bool = True) -> None:
     if energy_log:
         g.add_argument("--energy-log", metavar="PATH",
                        help="stream energy records to PATH as JSON lines")
+
+
+def _add_ensemble(sub) -> None:
+    p = sub.add_parser(
+        "ensemble",
+        help="run R replicas batched through one engine pass per step",
+    )
+    p.add_argument("--replicas", type=int, default=4, help="replica count R")
+    p.add_argument("--seeds", default=None, metavar="SPEC",
+                   help="base seed for splitmix64 derivation, or an explicit "
+                        "comma-separated per-replica list (e.g. 1,2,3,4); "
+                        "default: derive from --seed")
+    p.add_argument("--waters", type=int, default=64, help="water molecule count")
+    p.add_argument("--steps", type=int, default=100)
+    p.add_argument("--dt", type=float, default=1.0, help="time step, fs")
+    p.add_argument("--temperature", type=float, default=300.0)
+    p.add_argument("--cutoff", type=float, default=None)
+    p.add_argument("--skin", type=float, default=None,
+                   help="Verlet-list buffer radius, A (default: MDParams.skin)")
+    p.add_argument("--record-every", type=int, default=20)
+    p.add_argument("--seed", type=int, default=0,
+                   help="system build seed (also the default --seeds base)")
+    p.add_argument("--kernel-tier", choices=("numpy", "compiled"), default=None,
+                   help="hot-loop kernel tier (bitwise identical across tiers); "
+                        "default: $REPRO_KERNEL_TIER or numpy")
+    p.add_argument("--detach", type=int, default=None, metavar="R",
+                   help="after the run, detach replica R into a solo "
+                        "Simulation and verify its state codes match")
+    p.add_argument("--timings", action="store_true",
+                   help="print per-component wall-time counters after the run")
+    p.add_argument("--profile", action="store_true",
+                   help="print the hierarchical per-step phase profile as JSON")
+    g = p.add_argument_group("per-replica durable store")
+    g.add_argument("--trajectory", metavar="PATH",
+                   help="write solo-format trajectories to PATH.r000.rrs, ...")
+    g.add_argument("--trajectory-every", type=int, default=0, metavar="N",
+                   help="steps between frames (default: --record-every)")
+    g.add_argument("--checkpoint-dir", metavar="DIR",
+                   help="root for per-replica checkpoint stores "
+                        "(DIR/replica-000/, ...)")
+    g.add_argument("--checkpoint-every", type=int, default=0, metavar="N",
+                   help="steps between checkpoints (0: only a final one)")
+    g.add_argument("--retain", type=int, default=4,
+                   help="checkpoints kept per replica store (default 4)")
 
 
 def _add_machine(sub) -> None:
@@ -222,6 +267,101 @@ def cmd_simulate(args) -> int:
         for line in sim.timers.summary_lines():
             print(f"  {line}")
     return 0
+
+
+def cmd_ensemble(args) -> int:
+    from dataclasses import replace
+
+    from repro import BerendsenThermostat, MDParams, minimize_energy
+    from repro.ensemble import EnsembleSimulation, parse_seed_spec
+    from repro.io import replica_checkpoint_store, replica_trajectory_path
+    from repro.systems import build_water_box
+
+    system = build_water_box(n_molecules=args.waters, seed=args.seed)
+    cutoff = args.cutoff or min(5.5, system.box.max_cutoff() * 0.9)
+    params = MDParams(cutoff=cutoff, mesh=(16, 16, 16), long_range_every=2)
+    if args.skin is not None:
+        params = replace(params, skin=args.skin)
+    try:
+        seeds = parse_seed_spec(args.seeds, args.replicas, base_seed=args.seed)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from exc
+    print(f"system: water x{args.replicas} replicas — {system.n_atoms} atoms each "
+          f"({system.n_atoms * args.replicas} batched), box {system.box.lengths[0]:.1f} A, "
+          f"cutoff {params.cutoff:.1f} A")
+    e = minimize_energy(system, params, max_steps=80)
+    print(f"minimized potential energy: {e:.1f} kcal/mol")
+    print(f"replica seeds: {', '.join(str(s) for s in seeds)}")
+    ens = EnsembleSimulation(
+        system,
+        params,
+        dt=args.dt,
+        seeds=seeds,
+        temperature=args.temperature,
+        thermostat=BerendsenThermostat(args.temperature),
+        constraints=True,
+        kernel_tier=args.kernel_tier,
+    )
+    print(f"kernel tier: {ens.kernels.tier}")
+
+    trajectories = None
+    trajectory_every = args.trajectory_every or args.record_every
+    if args.trajectory:
+        trajectories = [
+            ens.open_replica_trajectory(replica_trajectory_path(args.trajectory, r))
+            for r in range(ens.replicas)
+        ]
+    stores = None
+    if args.checkpoint_dir:
+        stores = [
+            replica_checkpoint_store(args.checkpoint_dir, r, retain=args.retain)
+            for r in range(ens.replicas)
+        ]
+    try:
+        print(f"{'step':>8}  " + "  ".join(f"{'E_r%d' % r:>12}" for r in range(ens.replicas)))
+        for recs in zip(*ens.run(
+            args.steps,
+            record_every=args.record_every,
+            trajectories=trajectories,
+            trajectory_every=trajectory_every,
+            checkpoint_stores=stores,
+            checkpoint_every=args.checkpoint_every,
+        )):
+            print(f"{recs[0].step:>8}  " + "  ".join(f"{rec.total:>12.4f}" for rec in recs))
+    finally:
+        if trajectories is not None:
+            for writer in trajectories:
+                writer.close()
+    if stores is not None:
+        step = ens.integrator.step_count
+        for r, store in enumerate(stores):
+            final = store.save(ens.replica_checkpoint(r), step)
+            if r == 0:
+                print(f"final checkpoints: {final} ...")
+    temps = [ens.energy_logs[r][-1].temperature if ens.energy_logs[r] else float("nan")
+             for r in range(ens.replicas)]
+    print("final T (K): " + ", ".join(f"{t:.0f}" for t in temps))
+    nl = ens.calc.neighbor_list
+    print(f"neighbor list: {nl.n_builds} builds / {nl.n_reuses} reuses "
+          f"({nl.n_candidates} cached pairs across replicas)")
+    ok = True
+    if args.detach is not None:
+        solo = ens.detach(args.detach)
+        xs, vs = solo.integrator.X, solo.integrator.V
+        xe, ve = ens.state_codes(args.detach)
+        same = bool(np.array_equal(xs, xe) and np.array_equal(vs, ve))
+        print(f"replica {args.detach} detached as a solo Simulation "
+              f"(state codes bitwise identical: {same})")
+        ok = same
+    if args.timings:
+        print("component wall time:")
+        for line in ens.timers.summary_lines():
+            print(f"  {line}")
+    if args.profile:
+        import json
+
+        print(json.dumps(ens.profile(), indent=2))
+    return 0 if ok else 1
 
 
 def cmd_machine(args) -> int:
@@ -426,6 +566,7 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
     _add_simulate(sub)
+    _add_ensemble(sub)
     _add_machine(sub)
     _add_traj(sub)
     _add_perf(sub)
@@ -433,6 +574,7 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     return {
         "simulate": cmd_simulate,
+        "ensemble": cmd_ensemble,
         "machine": cmd_machine,
         "traj": cmd_traj,
         "perf": cmd_perf,

@@ -230,7 +230,11 @@ class FixedPointIntegrator:
                 if self.thermostat is not None:
                     with t.time("thermostat"):
                         lam = self.thermostat(self)
-                        if lam != 1.0:
+                        # np.any handles both the scalar solo case and a
+                        # per-atom (ensemble) lambda array; a replica at
+                        # exactly lam == 1.0 is untouched either way
+                        # since rint(float64(V) * 1.0) == V for |V| < 2^53.
+                        if np.any(lam != 1.0):
                             self.V = round_nearest_even(
                                 self.V.astype(np.float64) * lam
                             ).astype(np.int64)

@@ -1,0 +1,27 @@
+"""Batched ensemble runs: R bit-exact replicas through one engine pass.
+
+See :mod:`repro.ensemble.engine` for the replica-axis layout and the
+bitwise contract, and :mod:`repro.ensemble.seeds` for the stable
+splitmix64 seed derivation behind ``repro ensemble --seeds``.
+"""
+
+from repro.ensemble.engine import (
+    EnsembleBerendsenThermostat,
+    EnsembleConstraintSolver,
+    EnsembleForceCalculator,
+    EnsembleSimulation,
+    tile_exclusions,
+    tile_system,
+)
+from repro.ensemble.seeds import derive_replica_seeds, parse_seed_spec
+
+__all__ = [
+    "EnsembleBerendsenThermostat",
+    "EnsembleConstraintSolver",
+    "EnsembleForceCalculator",
+    "EnsembleSimulation",
+    "derive_replica_seeds",
+    "parse_seed_spec",
+    "tile_exclusions",
+    "tile_system",
+]

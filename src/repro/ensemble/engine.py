@@ -1,0 +1,787 @@
+"""Batched ensemble engine: R independent replicas in one stacked system.
+
+The paper's throughput numbers come from running *many* independent
+simulations (seeds, mutants, temperatures) at once; on commodity
+hardware the analogous win is amortizing per-step dispatch overhead
+across replicas.  This module stacks R replicas of one chemical system
+along the atom axis (replica ``r`` owns rows ``[r*N, (r+1)*N)``) and
+steps them all through ONE pass of the vectorized/compiled kernels per
+phase: one batched neighbor-list rebuild, one fused pair kernel call,
+one stacked mesh/FFT pass, one fixed-point accumulation, one batched
+SHAKE/RATTLE sweep.
+
+The correctness bar is *bitwise*: every replica's integer trajectory
+(position/velocity codes), energies, and checkpoint artifacts are
+byte-identical to the same seed run solo through
+:class:`~repro.core.simulation.Simulation`, on both kernel tiers.  The
+engine gets this by construction rather than by tolerance:
+
+* all per-atom/per-pair/per-term arithmetic is elementwise, so tiled
+  inputs produce tiled outputs with identical bits;
+* force accumulation is the same order-invariant fixed-point integer
+  sum the solo path uses — replica blocks cannot interact because no
+  pair, bonded term, or stencil point ever crosses a block boundary;
+* float energy *reductions* are re-done per replica over contiguous
+  slices whose length and values match the solo arrays exactly
+  (NumPy's pairwise summation depends only on those), never with
+  axis/``reduceat`` reductions whose grouping differs;
+* the shared-skin neighbor list is bitwise harmless because the pair
+  set is a pure function of the current configuration regardless of
+  when the list was rebuilt.
+
+Replicas are *detachable*: :meth:`EnsembleSimulation.detach` (or any
+per-replica checkpoint) restores into a stock solo ``Simulation`` that
+continues bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.constraints import ConstraintSolver
+from repro.core.forces import (
+    ForceCalculator,
+    ForceReport,
+    MDParams,
+    MTSForceProvider,
+)
+from repro.core.integrator import FixedPointConfig, FixedPointIntegrator
+from repro.core.simulation import EnergyRecord, Simulation
+from repro.core.system import ChemicalSystem
+from repro.core.thermostat import BerendsenThermostat
+from repro.ewald import self_energy
+from repro.ewald.correction import _segment_sums, correction_forces_static
+from repro.fixedpoint import FixedAccumulator
+from repro.forcefield.exclusions import ExclusionTable, _pair_keys
+from repro.forcefield.nonbonded import (
+    NonbondedResult,
+    nonbonded_real_space,
+    nonbonded_real_space_tabulated,
+)
+from repro.forcefield.topology import Topology
+from repro.geometry.neighborlist import EnsembleNeighborList
+from repro.io import TrajectoryWriter, system_fingerprint
+from repro.kernels import get_suite, make_pair_spec
+
+__all__ = [
+    "tile_system",
+    "tile_exclusions",
+    "EnsembleForceCalculator",
+    "EnsembleConstraintSolver",
+    "EnsembleBerendsenThermostat",
+    "EnsembleSimulation",
+]
+
+
+# -- system tiling ---------------------------------------------------------
+
+
+def tile_exclusions(solo: ExclusionTable, replicas: int) -> ExclusionTable:
+    """Replicate an exclusion table R times with per-block index offsets.
+
+    Built directly from the solo table's arrays instead of re-walking
+    the tiled covalent graph (the graph walk is Python-loop heavy).
+    Block r's keys are ``lo*(R*N) + hi`` with ``lo`` shifted by ``r*N``,
+    so concatenated blocks are globally sorted and the binary-search
+    membership test works unchanged.
+    """
+    n = solo.n_atoms
+    big_n = replicas * n
+
+    def shift(block: np.ndarray) -> np.ndarray:
+        if not len(block):
+            return np.empty((0, 2), dtype=np.int64)
+        return np.concatenate([block + np.int64(r * n) for r in range(replicas)])
+
+    def keys(block: np.ndarray) -> np.ndarray:
+        if not len(block):
+            return np.empty(0, dtype=np.int64)
+        return _pair_keys(block[:, 0], block[:, 1], big_n)
+
+    excluded = shift(solo.excluded)
+    pair14 = shift(solo.pair14)
+    return ExclusionTable(
+        n_atoms=big_n,
+        excluded=excluded,
+        pair14=pair14,
+        lj_scale14=solo.lj_scale14,
+        coul_scale14=solo.coul_scale14,
+        _excluded_keys=keys(excluded),
+        _pair14_keys=keys(pair14),
+    )
+
+
+def tile_system(
+    solo: ChemicalSystem, replicas: int, velocities: np.ndarray | None = None
+) -> ChemicalSystem:
+    """Stack R copies of ``solo`` along the atom axis.
+
+    Topology terms are merged replica-major (block r's bonds before
+    block r+1's), matching the layout every per-replica energy
+    segmentation in the force calculator assumes.  ``velocities``
+    optionally provides the stacked ``(R*N, 3)`` initial velocities
+    (per-replica seeds); default tiles the solo velocities.
+    """
+    n = solo.n_atoms
+    top = Topology(replicas * n)
+    for r in range(replicas):
+        top.merge(solo.topology, r * n)
+    if velocities is None:
+        velocities = np.tile(solo.velocities, (replicas, 1))
+    return ChemicalSystem(
+        box=solo.box,
+        positions=np.tile(solo.positions, (replicas, 1)),
+        masses=np.tile(solo.masses, replicas),
+        charges=np.tile(solo.charges, replicas),
+        type_ids=np.tile(solo.type_ids, replicas),
+        lj=solo.lj,
+        topology=top,
+        velocities=np.asarray(velocities, dtype=np.float64),
+        exclusions=tile_exclusions(solo.exclusions, replicas),
+        meta={**solo.meta, "ensemble_replicas": replicas, "ensemble_n_solo": n},
+    )
+
+
+# -- forces ----------------------------------------------------------------
+
+
+class EnsembleForceCalculator(ForceCalculator):
+    """Force calculator over a replica-stacked system.
+
+    Runs the same physics as :class:`ForceCalculator` on the tiled
+    system through one kernel pass per phase, but reports every energy
+    as an ``(R,)`` per-replica array whose entries are bitwise equal to
+    the solo scalars.  Phases are charged to ``ensemble_*`` timers so
+    the hierarchical profile attributes batched work separately.
+    """
+
+    def __init__(
+        self,
+        system: ChemicalSystem,
+        params: MDParams,
+        replicas: int,
+        n_solo: int,
+        kernels=None,
+    ):
+        if system.n_atoms != replicas * n_solo:
+            raise ValueError("tiled system size does not match replicas * n_solo")
+        super().__init__(system, params)
+        self.replicas = int(replicas)
+        self.n_solo = int(n_solo)
+        self.kernels = kernels if kernels is not None else get_suite()
+        # Batched rebuild: per-replica cell binning in a single
+        # filter/sort pass (cells are offset per replica so identical
+        # replica configurations never cross-pair).
+        self.neighbor_list = EnsembleNeighborList(
+            system.box,
+            params.cutoff,
+            replicas,
+            n_solo,
+            skin=params.skin,
+            exclusions=system.exclusions,
+            timers=self.timers,
+            kernels=self.kernels,
+        )
+        # The tiled ``_e_self`` is the R-fold total; each replica's
+        # self energy is the solo scalar.
+        self._e_self_solo = self_energy(system.charges[:n_solo], self.sigma)
+        # Pair-index boundaries between replica blocks (ascending i).
+        self._bounds = np.arange(1, replicas, dtype=np.int64) * np.int64(n_solo)
+        self._plan = None
+        self._pair_spec = None
+        self._pair_spec_codec = None
+        self._pair_out = None
+        self._acc_short = None
+        self._acc_long = None
+
+    # -- scratch -----------------------------------------------------------
+
+    def _accumulator(self, slot: str, force_codec) -> FixedAccumulator:
+        """Zeroed persistent accumulator (no per-evaluation allocation)."""
+        acc = getattr(self, "_acc_" + slot)
+        shape = (self.system.n_atoms, 3)
+        if acc is None or acc.shape != shape or acc.fmt != force_codec.fmt:
+            acc = FixedAccumulator(shape, force_codec.fmt)
+            setattr(self, "_acc_" + slot, acc)
+        else:
+            acc.zero()
+        return acc
+
+    def _pair_buffers(self, n: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(codes, e_lj, e_coul) output scratch for >= ``n`` pairs."""
+        out = self._pair_out
+        if out is None or out[0].shape[0] < n:
+            cap = max(int(n * 1.25), 1024)
+            out = (
+                np.empty((cap, 3), dtype=np.int64),
+                np.empty(cap, dtype=np.float64),
+                np.empty(cap, dtype=np.float64),
+            )
+            self._pair_out = out
+        return out
+
+    # -- per-replica reductions --------------------------------------------
+
+    def _pair_segment_sums(self, keys_i: np.ndarray, values: np.ndarray) -> np.ndarray:
+        """Per-replica sums of per-pair values split on the owner index.
+
+        The canonical pair order sorts on ``i*(R*N) + j`` so ``keys_i``
+        ascends; replica r's pairs form one contiguous slice whose
+        values and order equal the solo pair list's, making each
+        ``float(np.sum(slice))`` bitwise the solo total.
+        """
+        cuts = np.searchsorted(keys_i, self._bounds)
+        out = np.empty(self.replicas)
+        lo = 0
+        for r, hi in enumerate([*cuts.tolist(), len(values)]):
+            out[r] = float(np.sum(values[lo:hi]))
+            lo = hi
+        return out
+
+    # -- range-limited ------------------------------------------------------
+
+    def _range_limited_ensemble(
+        self, positions: np.ndarray, force_codec
+    ) -> tuple[NonbondedResult, np.ndarray]:
+        """Pair result + quantized force codes, one batched kernel pass.
+
+        Mirrors the machine's fused dispatch: the compiled tier with
+        tabulated kernels runs ``pair_table_codes`` straight to codes;
+        otherwise the classic NumPy evaluation plus one quantization
+        (bitwise identical either way — the fused kernel's contract).
+        """
+        k = self.kernels
+        s = self.system
+        if k.tier == "compiled" and self.tables is not None:
+            with self.timers.time("ensemble_pair_list"):
+                pairs = self.neighbor_list.pairs(positions)
+            with self.timers.time("ensemble_range_limited"):
+                if self._pair_spec is None or self._pair_spec_codec is not force_codec:
+                    self._pair_spec = make_pair_spec(
+                        self.tables, s.lj, s.charges, s.type_ids, force_codec
+                    )
+                    self._pair_spec_codec = force_codec
+                n = len(pairs.i)
+                codes, e_lj, e_coul = self._pair_buffers(n)
+                k.pair_table_codes(
+                    self._pair_spec, pairs.i, pairs.j, pairs.dx, pairs.r2,
+                    codes, e_lj, e_coul,
+                )
+                nb = NonbondedResult(
+                    energy_lj=float(np.sum(e_lj[:n])),
+                    energy_coul=float(np.sum(e_coul[:n])),
+                    i=pairs.i,
+                    j=pairs.j,
+                    force=None,
+                    e_lj_pairs=e_lj[:n],
+                    e_coul_pairs=e_coul[:n],
+                )
+            return nb, codes[:n]
+        with self.timers.time("ensemble_pair_list"):
+            pairs = self.neighbor_list.pairs(positions)
+        with self.timers.time("ensemble_range_limited"):
+            if self.tables is not None:
+                nb = nonbonded_real_space_tabulated(
+                    pairs, s.charges, s.type_ids, s.lj, s.exclusions,
+                    self.tables, assume_filtered=True,
+                )
+            else:
+                nb = nonbonded_real_space(
+                    pairs, s.charges, s.type_ids, s.lj, s.exclusions,
+                    self.sigma, lj_mode=self.params.lj_mode,
+                    cutoff=self.params.cutoff, assume_filtered=True,
+                )
+            codes = force_codec.quantize_round_only(nb.force)
+        return nb, codes
+
+    # -- long range ---------------------------------------------------------
+
+    def _kspace_stack(self, positions: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Per-replica k-space energies and stacked mesh forces.
+
+        One shared stencil plan is built over all R*N positions; each
+        replica's spread/interpolation runs over a zero-copy row view
+        of it (chunk loops restart at the view, preserving solo bits),
+        and the FFT/convolution covers the whole ``(R, *mesh)`` stack
+        in one batched transform.  When the plan exceeds the memory
+        budget, replicas fall back to R solo ``kspace`` calls — bitwise
+        solo by definition.
+        """
+        g = self.gse
+        R, n = self.replicas, self.n_solo
+        q_solo = self.system.charges[:n]
+        with self.timers.time("mesh_plan"):
+            plan = g.make_plan(positions, out=self._plan, kernels=self.kernels)
+        if plan is None:
+            energies = np.empty(R)
+            forces = np.empty((R * n, 3))
+            for r in range(R):
+                sl = slice(r * n, (r + 1) * n)
+                e_r, f_r = g.kspace(positions[sl], q_solo, codec=self.mesh_codec)
+                energies[r] = e_r
+                forces[sl] = f_r
+            return energies, forces
+        self._plan = plan
+        mesh_shape = (R, *(int(m) for m in g.mesh))
+        m_points = g.mesh_point_count()
+        with self.timers.time("mesh_spread"):
+            if self.mesh_codec is not None:
+                acc = np.zeros((R, m_points), dtype=np.int64)
+                for r in range(R):
+                    plan.rows_view(r * n, (r + 1) * n).spread_codes(
+                        q_solo, acc[r], self.mesh_codec, kernels=self.kernels
+                    )
+                Q = self.mesh_codec.reconstruct(self.mesh_codec.wrap(acc)).reshape(
+                    mesh_shape
+                )
+            else:
+                Qf = np.zeros((R, m_points))
+                for r in range(R):
+                    plan.rows_view(r * n, (r + 1) * n).spread_float(q_solo, Qf[r])
+                Q = Qf.reshape(mesh_shape)
+        with self.timers.time("mesh_fft"):
+            phi, energies = g.solve_stack(Q)
+        with self.timers.time("mesh_interp"):
+            forces = np.empty((R * n, 3))
+            for r in range(R):
+                plan.rows_view(r * n, (r + 1) * n).interpolate_forces(
+                    q_solo, phi[r], out=forces[r * n : (r + 1) * n]
+                )
+        return energies, forces
+
+    def compute_long_fixed(self, positions: np.ndarray, force_codec):
+        """Long-range codes with per-replica ``(R,)`` energies."""
+        R = self.replicas
+        acc = self._accumulator("long", force_codec)
+        with self.timers.time("ensemble_correction"):
+            corr = correction_forces_static(
+                positions, self.system.box, self._corr_static, self.sigma,
+                replicas=R,
+            )
+        with self.timers.time("ensemble_deposit"):
+            ccodes = force_codec.quantize_round_only(corr.force)
+            self.kernels.deposit_pairs(acc.raw(), corr.i, corr.j, ccodes)
+        e_k = np.zeros(R)
+        if self.gse is not None:
+            with self.timers.time("ensemble_kspace"):
+                e_k, f_k = self._kspace_stack(positions)
+            with self.timers.time("ensemble_deposit"):
+                acc.deposit_dense(force_codec.quantize_round_only(f_k))
+        energies = {
+            "correction": corr.energy_exclusion + corr.energy_14_coul,
+            "lj14": corr.energy_14_lj,
+            "coulomb_kspace": e_k,
+            "coulomb_self": np.full(R, self._e_self_solo),
+        }
+        return acc.raw(), energies
+
+    def compute_fixed(
+        self, positions: np.ndarray, force_codec, include_long_range: bool = True
+    ) -> tuple[np.ndarray, ForceReport]:
+        """Batched fixed-point forces with per-replica energy arrays.
+
+        Identical deposits to the solo path (order-invariant integer
+        sums over the same contributions), with each energy re-summed
+        per replica block.  Energy keys are inserted in the exact solo
+        order so per-replica ``sum(energies.values())`` reproduces the
+        solo left-to-right float additions.
+        """
+        s = self.system
+        before = self.timers.snapshot()
+        acc = self._accumulator("short", force_codec)
+        energies: dict[str, np.ndarray] = {}
+
+        nb, codes = self._range_limited_ensemble(positions, force_codec)
+        with self.timers.time("ensemble_deposit"):
+            self.kernels.deposit_pairs(acc.raw(), nb.i, nb.j, codes)
+        with self.timers.time("ensemble_energies"):
+            energies["lj"] = self._pair_segment_sums(nb.i, nb.e_lj_pairs)
+            energies["coulomb_real"] = self._pair_segment_sums(nb.i, nb.e_coul_pairs)
+
+        bonded = self._bonded(positions)
+        with self.timers.time("ensemble_deposit"):
+            for contrib in bonded:
+                if contrib.n_terms:
+                    c = force_codec.quantize_round_only(contrib.force)
+                    self.kernels.scatter_rows(
+                        acc.raw(), contrib.idx.ravel(), c.reshape(-1, 3)
+                    )
+        with self.timers.time("ensemble_energies"):
+            energies["bond"] = _segment_sums(bonded[0].energy_terms, self.replicas)
+            energies["angle"] = _segment_sums(bonded[1].energy_terms, self.replicas)
+            energies["dihedral"] = _segment_sums(bonded[2].energy_terms, self.replicas)
+
+        if include_long_range:
+            long_codes, long_energies = self.compute_long_fixed(positions, force_codec)
+            with self.timers.time("ensemble_deposit"):
+                acc.deposit_dense(long_codes)
+            energies.update(long_energies)
+
+        with self.timers.time("ensemble_collect"):
+            total = acc.total()
+            total = self._spread_vsite_codes(total)
+            report = ForceReport(
+                forces=force_codec.reconstruct(total),
+                energies=energies,
+                n_pairs=nb.n_pairs,
+                timings=self.timers.delta_since(before),
+            )
+        return total, report
+
+
+# -- constraints -----------------------------------------------------------
+
+
+class EnsembleConstraintSolver:
+    """SHAKE/RATTLE over R replica blocks in one batched dispatch.
+
+    Wraps ONE solo :class:`ConstraintSolver` (the constraint topology
+    is identical in every block) and dispatches through the kernel
+    suite: the compiled tier sweeps all replicas in a single C call
+    that runs the solo kernel per block — bitwise the solo solve,
+    including each block's own convergence exit (a converged replica
+    must not absorb extra sweeps, which would change bits).
+    """
+
+    def __init__(
+        self, solo: ConstraintSolver, replicas: int, n_solo: int, kernels=None
+    ):
+        self.solo = solo
+        self.replicas = int(replicas)
+        self.n_solo = int(n_solo)
+        self.kernels = kernels if kernels is not None else get_suite()
+
+    @property
+    def n_constraints(self) -> int:
+        return self.solo.n_constraints * self.replicas
+
+    def _suite(self, arr: np.ndarray):
+        k = self.kernels
+        if k.tier == "compiled" and not (
+            arr.dtype == np.float64 and arr.flags["C_CONTIGUOUS"]
+        ):
+            return get_suite("numpy")
+        return k
+
+    def shake(self, positions: np.ndarray, reference: np.ndarray, tol: float = 1e-10):
+        if not self.solo.n_constraints:
+            return positions
+        return self._suite(positions).shake_batch(
+            self.solo, positions, reference, float(tol), self.replicas, self.n_solo
+        )
+
+    def rattle(self, velocities: np.ndarray, positions: np.ndarray, tol: float = 1e-12):
+        if not self.solo.n_constraints:
+            return velocities
+        return self._suite(velocities).rattle_batch(
+            self.solo, velocities, positions, float(tol), self.replicas, self.n_solo
+        )
+
+
+# -- thermostat ------------------------------------------------------------
+
+
+class EnsembleBerendsenThermostat:
+    """Per-replica Berendsen scaling with the exact solo scalar math.
+
+    Computes each replica's temperature from its own contiguous
+    velocity block (solo masses, solo ``n_dof``) and its lambda with
+    the same ``math.sqrt``/``min``/``max`` scalar chain the solo
+    thermostat uses, then broadcasts ``(R,) -> (R*N, 1)`` so the
+    integrator applies one vectorized velocity scale.  A replica at
+    exactly ``lam == 1.0`` is untouched (the integrator's round-trip
+    through float64 is exact for 40-bit codes).
+    """
+
+    def __init__(
+        self,
+        solo: BerendsenThermostat,
+        replicas: int,
+        n_solo: int,
+        solo_system: ChemicalSystem,
+    ):
+        self.solo = solo
+        self.replicas = int(replicas)
+        self.n_solo = int(n_solo)
+        self.solo_system = solo_system
+
+    def __call__(self, integrator) -> np.ndarray:
+        v = integrator.velocities
+        n = self.n_solo
+        lams = np.empty(self.replicas)
+        for r in range(self.replicas):
+            t_now = self.solo_system.temperature(v[r * n : (r + 1) * n])
+            if t_now <= 0:
+                lams[r] = 1.0
+                continue
+            arg = 1.0 + (integrator.dt / self.solo.tau) * (
+                self.solo.temperature / t_now - 1.0
+            )
+            lam = math.sqrt(max(arg, 0.0))
+            lams[r] = min(max(lam, 1.0 - self.solo.clamp), 1.0 + self.solo.clamp)
+        return np.repeat(lams, n)[:, None]
+
+
+# -- driver ----------------------------------------------------------------
+
+
+class EnsembleSimulation:
+    """Drive R bit-exact replicas through one batched integrator.
+
+    Parameters mirror :class:`~repro.core.simulation.Simulation` where
+    they overlap.  ``system`` is the *solo* prepared system (already
+    minimized); each replica starts from its positions with velocities
+    drawn from its own seed.
+
+    ``seeds``/``temperature`` initialize replica r's velocities exactly
+    as ``system.initialize_velocities(temperature, seed=seeds[r])``
+    would solo; with ``seeds=None`` all ``replicas`` blocks start from
+    the solo velocities verbatim.  ``kernel_tier`` picks the kernel
+    suite (default: the ``REPRO_KERNEL_TIER`` environment resolution).
+
+    Per-replica artifacts (energy records, trajectory frames,
+    checkpoints) use the *solo* fingerprint and the solo formats, so
+    they are byte-identical to a solo run's files and restore into a
+    stock solo ``Simulation`` (:meth:`detach`).
+    """
+
+    def __init__(
+        self,
+        system: ChemicalSystem,
+        params: MDParams = MDParams(),
+        dt: float = 2.5,
+        replicas: int | None = None,
+        seeds: list[int] | None = None,
+        temperature: float | None = None,
+        fixed_config: FixedPointConfig = FixedPointConfig(),
+        thermostat: BerendsenThermostat | None = None,
+        constraints: bool = True,
+        kernel_tier: str | None = None,
+    ):
+        if seeds is not None:
+            if replicas is not None and replicas != len(seeds):
+                raise ValueError("replicas does not match len(seeds)")
+            replicas = len(seeds)
+            if temperature is None and thermostat is not None:
+                temperature = thermostat.temperature
+            if temperature is None:
+                raise ValueError("seeds need a temperature to draw velocities")
+        if replicas is None or replicas < 1:
+            raise ValueError("need replicas >= 1 (or an explicit seeds list)")
+
+        self.solo_system = system
+        self.params = params
+        self.dt = float(dt)
+        self.mode = "fixed"
+        self.fixed_config = fixed_config
+        self.replicas = int(replicas)
+        self.n_solo = system.n_atoms
+        self.seeds = list(seeds) if seeds is not None else None
+        self.solo_thermostat = thermostat
+        self.constraints_enabled = bool(constraints)
+        self.kernels = get_suite(kernel_tier)
+
+        n = self.n_solo
+        velocities = np.empty((self.replicas * n, 3))
+        for r in range(self.replicas):
+            if self.seeds is not None:
+                rep = system.copy()
+                rep.initialize_velocities(temperature, seed=self.seeds[r])
+                velocities[r * n : (r + 1) * n] = rep.velocities
+            else:
+                velocities[r * n : (r + 1) * n] = system.velocities
+        self.system = tile_system(system, self.replicas, velocities=velocities)
+
+        self.calc = EnsembleForceCalculator(
+            self.system, params, self.replicas, n, kernels=self.kernels
+        )
+        solver = None
+        if constraints and system.topology.n_constraints:
+            solver = EnsembleConstraintSolver(
+                ConstraintSolver(system.topology, system.masses, system.box),
+                self.replicas,
+                n,
+                kernels=self.kernels,
+            )
+        self.constraint_solver = solver
+        ens_thermo = None
+        if thermostat is not None:
+            ens_thermo = EnsembleBerendsenThermostat(
+                thermostat, self.replicas, n, system
+            )
+        self.provider = MTSForceProvider(
+            self.calc, force_codec=fixed_config.force_codec()
+        )
+        self.integrator = FixedPointIntegrator(
+            self.system,
+            self.provider,
+            dt,
+            config=fixed_config,
+            constraints=solver,
+            thermostat=ens_thermo,
+            timers=self.calc.timers,
+        )
+        # One fingerprint serves every replica: it hashes only the
+        # static solo system, parameters, and datapath widths — never
+        # positions/velocities — so it is verbatim what a solo run of
+        # any replica embeds in its artifacts.
+        self._solo_fingerprint = system_fingerprint(
+            system, params, self.mode, self.dt, fixed_config
+        )
+        self.energy_logs: list[list[EnergyRecord]] = [
+            [] for _ in range(self.replicas)
+        ]
+
+    # -- views ---------------------------------------------------------------
+
+    @property
+    def timers(self):
+        return self.calc.timers
+
+    def replica_slice(self, r: int) -> slice:
+        if not 0 <= r < self.replicas:
+            raise IndexError(f"replica {r} out of range (R={self.replicas})")
+        return slice(r * self.n_solo, (r + 1) * self.n_solo)
+
+    def state_codes(self, r: int) -> tuple[np.ndarray, np.ndarray]:
+        """Replica r's raw integer state (bitwise-comparison handle)."""
+        sl = self.replica_slice(r)
+        return self.integrator.X[sl].copy(), self.integrator.V[sl].copy()
+
+    # -- energies ------------------------------------------------------------
+
+    def record_energy(self) -> list[EnergyRecord]:
+        """Append one solo-identical energy record per replica."""
+        integ = self.integrator
+        v = integ.velocities
+        energies = integ.last_info.energies
+        recs = []
+        for r in range(self.replicas):
+            vr = v[self.replica_slice(r)]
+            # Left-to-right float additions over the solo key order —
+            # the same chain ``float(sum(energies.values()))`` runs solo.
+            pe = float(sum(float(np.asarray(val)[r]) for val in energies.values()))
+            rec = EnergyRecord(
+                step=integ.step_count,
+                time_fs=integ.step_count * self.dt,
+                kinetic=self.solo_system.kinetic_energy(vr),
+                potential=pe,
+                temperature=self.solo_system.temperature(vr),
+            )
+            self.energy_logs[r].append(rec)
+            recs.append(rec)
+        return recs
+
+    # -- artifacts -----------------------------------------------------------
+
+    def replica_fingerprint(self) -> dict:
+        """The solo fingerprint every replica's artifacts embed."""
+        return self._solo_fingerprint
+
+    def replica_checkpoint(self, r: int) -> dict:
+        """Replica r's state in the exact solo checkpoint schema.
+
+        Byte-identical (through ``pack_state``) to what the same-seed
+        solo run's :meth:`Simulation.checkpoint` yields at this step,
+        and restorable by it (:meth:`detach`).
+        """
+        sl = self.replica_slice(r)
+        return {
+            "mode": self.mode,
+            "dt": self.dt,
+            "step_count": self.integrator.step_count,
+            "provider_calls": self.provider.calls,
+            "fingerprint": self._solo_fingerprint,
+            "X": self.integrator.X[sl].copy(),
+            "V": self.integrator.V[sl].copy(),
+        }
+
+    def open_replica_trajectory(self, path, meta: dict | None = None) -> TrajectoryWriter:
+        """A solo-format trajectory writer for one replica's frames."""
+        cfg = self.fixed_config
+        decode = {
+            "storage": "codes",
+            "position_bits": cfg.position_bits,
+            "box": [float(x) for x in self.solo_system.box.lengths],
+            "velocity_bits": cfg.velocity_bits,
+            "velocity_limit": cfg.velocity_limit,
+        }
+        return TrajectoryWriter(
+            path, fingerprint=self._solo_fingerprint, decode=decode, meta=meta
+        )
+
+    def write_replica_frame(self, writer: TrajectoryWriter, r: int) -> None:
+        X, V = self.state_codes(r)
+        step = self.integrator.step_count
+        writer.write_frame(step, step * self.dt, {"X": X, "V": V})
+
+    def detach(self, r: int) -> Simulation:
+        """Extract replica r as a live solo :class:`Simulation`.
+
+        The solo simulation is built on a copy of the solo system and
+        restored from the replica checkpoint, so it continues exactly
+        the bits the batched run would have produced for this replica.
+        """
+        sim = Simulation(
+            self.solo_system.copy(),
+            self.params,
+            dt=self.dt,
+            mode=self.mode,
+            fixed_config=self.fixed_config,
+            thermostat=self.solo_thermostat,
+            constraints=self.constraints_enabled,
+        )
+        sim.restore(self.replica_checkpoint(r))
+        return sim
+
+    # -- stepping ------------------------------------------------------------
+
+    def run(
+        self,
+        n_steps: int,
+        record_every: int = 0,
+        energy_writers=None,
+        trajectories=None,
+        trajectory_every: int = 0,
+        checkpoint_stores=None,
+        checkpoint_every: int = 0,
+    ) -> list[list[EnergyRecord]]:
+        """Advance all replicas ``n_steps``; per-replica record lists.
+
+        Cadences mirror :meth:`Simulation.run` exactly (global step
+        count keys the trajectory/checkpoint cadence).  The per-replica
+        sequences ``energy_writers`` / ``trajectories`` /
+        ``checkpoint_stores`` may be ``None`` or contain ``None``
+        entries to skip individual replicas.
+        """
+        start = [len(log) for log in self.energy_logs]
+        for i in range(n_steps):
+            self.integrator.step()
+            done = i + 1
+            step = self.integrator.step_count
+            if record_every and done % record_every == 0:
+                recs = self.record_energy()
+                if energy_writers is not None:
+                    for writer, rec in zip(energy_writers, recs):
+                        if writer is not None:
+                            writer.write(rec)
+            if trajectories is not None and trajectory_every and step % trajectory_every == 0:
+                for r, writer in enumerate(trajectories):
+                    if writer is not None:
+                        self.write_replica_frame(writer, r)
+            if checkpoint_stores is not None and checkpoint_every and step % checkpoint_every == 0:
+                for r, store in enumerate(checkpoint_stores):
+                    if store is not None:
+                        store.save(self.replica_checkpoint(r), step)
+        return [log[s:] for log, s in zip(self.energy_logs, start)]
+
+    def profile(self) -> dict:
+        """Hierarchical per-step phase profile of the batched engine.
+
+        Rooted at the integrator's ``step`` phase; the batched force
+        phases appear as ``ensemble_*`` children.  Same coverage /
+        ``leaf_coverage`` attribution contract as the machine profile.
+        """
+        return self.calc.timers.profile("step", self.integrator.step_count)

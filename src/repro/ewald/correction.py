@@ -124,44 +124,75 @@ def precompute_correction_static(
     )
 
 
+def _segment_sums(values: np.ndarray, replicas: int) -> np.ndarray:
+    """Per-replica ``float(np.sum(slice))`` over equal contiguous blocks.
+
+    Each block is summed with the same pairwise ``np.sum`` a solo run
+    applies to its own (identical-length, identical-value) array, so the
+    per-replica results are bitwise equal to R independent solo sums.
+    """
+    m = len(values) // replicas
+    return np.array(
+        [float(np.sum(values[r * m : (r + 1) * m])) for r in range(replicas)]
+    )
+
+
 def correction_forces_static(
     positions: np.ndarray,
     box: Box,
     static: CorrectionStatic,
     sigma: float,
+    replicas: int | None = None,
 ) -> CorrectionResult:
-    """Evaluate all correction terms against precomputed static data."""
+    """Evaluate all correction terms against precomputed static data.
+
+    With ``replicas=R`` the static pair lists are interpreted as R
+    replica-major blocks of equal length (the tiled-system layout) and
+    the three energies come back as ``(R,)`` arrays of per-replica
+    totals, each bitwise equal to the scalar a solo evaluation of that
+    replica returns.  Forces are unaffected (they are per-pair either
+    way).
+    """
     from repro.forcefield.nonbonded import lj_energy_prefactor
 
     parts_i, parts_j, parts_f = [], [], []
 
     # -- hard exclusions: remove the mesh's erf part ---------------------
-    e_excl = 0.0
+    e_excl = 0.0 if replicas is None else np.zeros(replicas)
     if len(static.excl_i):
         i, j, qq = static.excl_i, static.excl_j, static.excl_qq
         dx = box.minimum_image(positions[i] - positions[j])
         r2 = np.sum(dx * dx, axis=1)
-        e_excl = -float(np.sum(qq * kspace_pair_energy_kernel(r2, sigma)))
+        ev = qq * kspace_pair_energy_kernel(r2, sigma)
+        if replicas is None:
+            e_excl = -float(np.sum(ev))
+        else:
+            e_excl = -_segment_sums(ev, replicas)
         pref = -qq * kspace_pair_force_kernel(r2, sigma)
         parts_i.append(i)
         parts_j.append(j)
         parts_f.append(pref[:, None] * dx)
 
     # -- 1-4 pairs: scaled explicit interaction minus mesh part -----------
-    e14c = 0.0
-    e14lj = 0.0
+    e14c = 0.0 if replicas is None else np.zeros(replicas)
+    e14lj = 0.0 if replicas is None else np.zeros(replicas)
     if len(static.p14_i):
         i, j, qq = static.p14_i, static.p14_j, static.p14_qq
         dx = box.minimum_image(positions[i] - positions[j])
         r2 = np.sum(dx * dx, axis=1)
         cs = static.coul_scale14
-        e14c = float(
-            np.sum(qq * (cs * plain_coulomb_energy_kernel(r2) - kspace_pair_energy_kernel(r2, sigma)))
+        ev14 = qq * (
+            cs * plain_coulomb_energy_kernel(r2) - kspace_pair_energy_kernel(r2, sigma)
         )
         pref_c = qq * (cs * plain_coulomb_force_kernel(r2) - kspace_pair_force_kernel(r2, sigma))
         e_lj, pref_lj = lj_energy_prefactor(r2, static.p14_a, static.p14_b)
         ls = static.lj_scale14
-        e14lj = ls * float(np.sum(e_lj))
+        if replicas is None:
+            e14c = float(np.sum(ev14))
+            e14lj = ls * float(np.sum(e_lj))
+        else:
+            e14c = _segment_sums(ev14, replicas)
+            e14lj = ls * _segment_sums(e_lj, replicas)
         parts_i.append(i)
         parts_j.append(j)
         parts_f.append((pref_c + ls * pref_lj)[:, None] * dx)

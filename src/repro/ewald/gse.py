@@ -230,6 +230,27 @@ class MeshStencilPlan:
             )
         return self
 
+    def rows_view(self, lo: int, hi: int) -> "MeshStencilPlan":
+        """Zero-copy plan over the contiguous atom rows ``[lo, hi)``.
+
+        The view shares this plan's storage (it stays valid across
+        in-place :meth:`build` refills) and runs every kernel exactly as
+        a standalone plan over those atoms would: chunk loops restart at
+        the view's first row, which is what makes the chunk-*sensitive*
+        float spreading path of a stacked-replica mesh bitwise equal to
+        each replica's solo evaluation.  Do not call :meth:`build` on a
+        view; rebuild the parent.
+        """
+        v = MeshStencilPlan.__new__(MeshStencilPlan)
+        v.gse = self.gse
+        v.n = int(hi - lo)
+        v.shape = self.shape
+        v.flat = self.flat[lo:hi]
+        v.w = self.w[lo:hi]
+        v.axis_d = [a[lo:hi] for a in self.axis_d]
+        v._scratch = None
+        return v
+
     # -- kernels -----------------------------------------------------------
 
     def _take(self, arr: np.ndarray, rows, lo: int, hi: int) -> np.ndarray:
@@ -560,6 +581,32 @@ class GaussianSplitEwald:
         phi = np.real(self._ifftn(self._green * Qhat)) * Q.size
         energy = 0.5 * float(np.sum(Q * phi))
         return phi, energy
+
+    def solve_stack(self, Qs: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Batched :meth:`solve` over a ``(R, *mesh)`` charge stack.
+
+        One FFT/convolution/inverse-FFT pass covers all R replica
+        meshes.  NumPy's pocketfft transforms each trailing-axes block
+        independently, so every replica's potential mesh is bitwise the
+        slice a solo :meth:`solve` returns (pinned by the property
+        tests); per-replica energies are summed over each contiguous
+        ``Q[r] * phi[r]`` block exactly as solo.  Backends without a
+        batched transform (radix2) fall back to a per-replica loop of
+        the identical solo solve.
+        """
+        if self._fftn is not np.fft.fftn:
+            phis = np.empty_like(Qs)
+            energies = np.empty(len(Qs))
+            for r in range(len(Qs)):
+                phis[r], energies[r] = self.solve(Qs[r])
+            return phis, energies
+        Qhat = np.fft.fftn(Qs.astype(np.complex128), axes=(1, 2, 3))
+        phi = np.real(np.fft.ifftn(self._green[None] * Qhat, axes=(1, 2, 3)))
+        phi = phi * float(Qs[0].size)
+        energies = np.array(
+            [0.5 * float(np.sum(Qs[r] * phi[r])) for r in range(len(Qs))]
+        )
+        return phi, energies
 
     # -- interpolation ----------------------------------------------------------
 

@@ -34,11 +34,15 @@ class BondedContributions:
 
     ``idx`` has shape (m, k) — the k atoms of each of m terms; ``force``
     has shape (m, k, 3) and rows sum to ~0 (Newton's third law).
+    ``energy_terms`` holds the per-term energies whose (pairwise) sum is
+    ``energy``; segment consumers (the batched ensemble engine) re-sum
+    contiguous slices of it with the same ``np.sum`` reduction.
     """
 
     energy: float
     idx: np.ndarray
     force: np.ndarray
+    energy_terms: np.ndarray | None = None
 
     @property
     def n_terms(self) -> int:
@@ -46,7 +50,9 @@ class BondedContributions:
 
 
 def _empty(width: int) -> BondedContributions:
-    return BondedContributions(0.0, np.empty((0, width), np.int64), np.empty((0, width, 3)))
+    return BondedContributions(
+        0.0, np.empty((0, width), np.int64), np.empty((0, width, 3)), np.empty(0)
+    )
 
 
 def scatter_forces(n_atoms: int, contribs: list[BondedContributions]) -> np.ndarray:
@@ -67,12 +73,13 @@ def bond_forces(positions: np.ndarray, box: Box, top: Topology) -> BondedContrib
     dx = box.minimum_image(positions[i] - positions[j])
     r = np.linalg.norm(dx, axis=1)
     delta = r - top.bond_r0
-    energy = float(np.sum(top.bond_k * delta**2))
+    et = top.bond_k * delta**2
+    energy = float(np.sum(et))
     # F_i = -dE/dr * dr/dx_i = -2k*delta * dx/r
     fmag = (-2.0 * top.bond_k * delta / r)[:, None]
     f_i = fmag * dx
     force = np.stack([f_i, -f_i], axis=1)
-    return BondedContributions(energy, top.bond_idx, force)
+    return BondedContributions(energy, top.bond_idx, force, et)
 
 
 def angle_forces(positions: np.ndarray, box: Box, top: Topology) -> BondedContributions:
@@ -89,7 +96,8 @@ def angle_forces(positions: np.ndarray, box: Box, top: Topology) -> BondedContri
     theta = np.arccos(cos_t)
     sin_t = np.maximum(np.sqrt(1.0 - cos_t**2), _SIN_FLOOR)
     delta = theta - top.angle_theta0
-    energy = float(np.sum(top.angle_k * delta**2))
+    et = top.angle_k * delta**2
+    energy = float(np.sum(et))
     dEdt = 2.0 * top.angle_k * delta
     # grad_i theta = -(v/(nu nv) - cos * u/nu^2) / sin
     gi = -(v / (nu * nv)[:, None] - cos_t[:, None] * u / (nu**2)[:, None]) / sin_t[:, None]
@@ -98,7 +106,7 @@ def angle_forces(positions: np.ndarray, box: Box, top: Topology) -> BondedContri
     f_k = -dEdt[:, None] * gk
     f_j = -f_i - f_k
     force = np.stack([f_i, f_j, f_k], axis=1)
-    return BondedContributions(energy, top.angle_idx, force)
+    return BondedContributions(energy, top.angle_idx, force, et)
 
 
 def dihedral_forces(positions: np.ndarray, box: Box, top: Topology) -> BondedContributions:
@@ -116,7 +124,8 @@ def dihedral_forces(positions: np.ndarray, box: Box, top: Topology) -> BondedCon
     # phi = atan2((n1 x n2) . b2hat, n1 . n2)
     phi = np.arctan2(np.sum(np.cross(n1, n2) * b2, axis=1) / nb2, np.sum(n1 * n2, axis=1))
     arg = top.dihedral_n * phi - top.dihedral_delta
-    energy = float(np.sum(top.dihedral_k * (1.0 + np.cos(arg))))
+    et = top.dihedral_k * (1.0 + np.cos(arg))
+    energy = float(np.sum(et))
     dEdphi = -top.dihedral_k * top.dihedral_n * np.sin(arg)
     n1sq = np.maximum(np.sum(n1 * n1, axis=1), 1e-16)
     n2sq = np.maximum(np.sum(n2 * n2, axis=1), 1e-16)
@@ -127,7 +136,7 @@ def dihedral_forces(positions: np.ndarray, box: Box, top: Topology) -> BondedCon
     gj = -(1.0 + s12) * gi + s32 * gl
     gk = s12 * gi - (1.0 + s32) * gl
     f = -dEdphi[:, None, None] * np.stack([gi, gj, gk, gl], axis=1)
-    return BondedContributions(energy, top.dihedral_idx, f)
+    return BondedContributions(energy, top.dihedral_idx, f, et)
 
 
 def all_bonded_forces(

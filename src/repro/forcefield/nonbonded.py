@@ -44,6 +44,13 @@ class NonbondedResult:
     ``force`` is the force on atom ``i`` of each pair; the force on
     ``j`` is its negation (the NT method exploits exactly this symmetry
     to halve its plate, Figure 3a).
+
+    ``e_lj_pairs``/``e_coul_pairs`` retain the per-pair energies whose
+    pairwise ``np.sum`` produced the scalar totals, so segment consumers
+    (the batched ensemble engine) can re-sum contiguous replica slices
+    with bitwise-identical results.  They are ``None`` on paths that
+    never materialize them (e.g. the fused compiled pair kernel's solo
+    totals).
     """
 
     energy_lj: float
@@ -51,6 +58,8 @@ class NonbondedResult:
     i: np.ndarray
     j: np.ndarray
     force: np.ndarray
+    e_lj_pairs: np.ndarray | None = None
+    e_coul_pairs: np.ndarray | None = None
 
     @property
     def energy(self) -> float:
@@ -146,6 +155,8 @@ def nonbonded_real_space(
         i=i,
         j=j,
         force=force,
+        e_lj_pairs=e_lj,
+        e_coul_pairs=e_coul,
     )
 
 
@@ -235,4 +246,6 @@ def nonbonded_real_space_tabulated(
         i=i,
         j=j,
         force=p[:, None] * dx,
+        e_lj_pairs=e_lj,
+        e_coul_pairs=e_coul,
     )

@@ -13,11 +13,18 @@ the storage layer that realizes it in the reproduction:
 * :mod:`~repro.io.checkpoint` — atomic checkpoint store with rolling
   retention and corruption fallback.
 * :mod:`~repro.io.energylog` — streaming JSONL energy observables.
+* :mod:`~repro.io.replicas` — per-replica artifact naming for
+  batched ensemble runs (solo formats, indexed paths).
 """
 
 from repro.io.checkpoint import CheckpointError, CheckpointStore, LoadedCheckpoint
 from repro.io.energylog import EnergyLogWriter, read_energy_log
 from repro.io.records import CorruptRecord
+from repro.io.replicas import (
+    replica_checkpoint_dir,
+    replica_checkpoint_store,
+    replica_trajectory_path,
+)
 from repro.io.serialize import (
     FingerprintMismatch,
     check_fingerprint,
@@ -43,4 +50,7 @@ __all__ = [
     "TrajectoryReader",
     "TrajectoryWriter",
     "VerifyReport",
+    "replica_checkpoint_dir",
+    "replica_checkpoint_store",
+    "replica_trajectory_path",
 ]

@@ -1,0 +1,44 @@
+"""Per-replica artifact naming over the existing store classes.
+
+Ensemble runs persist one *solo-format* artifact set per replica —
+the whole point of the bitwise contract is that replica r's files are
+byte-identical to a solo run's — so the store layer needs nothing new
+beyond a naming convention:
+
+* trajectories:  ``traj.rrs`` -> ``traj.r000.rrs``, ``traj.r001.rrs``…
+* checkpoints:   ``ckpt/``    -> ``ckpt/replica-000/``, …
+
+Each per-replica checkpoint directory is an ordinary
+:class:`~repro.io.checkpoint.CheckpointStore` (atomic writes, retention
+pruning, corrupt-skip recovery all inherited).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.io.checkpoint import CheckpointStore
+
+__all__ = [
+    "replica_trajectory_path",
+    "replica_checkpoint_dir",
+    "replica_checkpoint_store",
+]
+
+
+def replica_trajectory_path(base, r: int) -> Path:
+    """``traj.rrs`` -> ``traj.r003.rrs`` (suffix preserved)."""
+    p = Path(base)
+    suffix = p.suffix or ".rrs"
+    stem = p.stem if p.suffix else p.name
+    return p.with_name(f"{stem}.r{int(r):03d}{suffix}")
+
+
+def replica_checkpoint_dir(base, r: int) -> Path:
+    """``ckpt/`` -> ``ckpt/replica-003`` subdirectory."""
+    return Path(base) / f"replica-{int(r):03d}"
+
+
+def replica_checkpoint_store(base, r: int, retain: int = 4) -> CheckpointStore:
+    """A standard :class:`CheckpointStore` rooted at the replica's dir."""
+    return CheckpointStore(replica_checkpoint_dir(base, r), retain=retain)

@@ -328,6 +328,23 @@ void rk_shake(double *pos, const double *ref, const int64_t *ci,
     }
 }
 
+/* Leading-replica-axis SHAKE: R independent replicas stacked along the
+ * atom axis (replica r owns rows [r*natoms, (r+1)*natoms)), each solved
+ * with the solo sweep above against the *solo* constraint arrays.  One
+ * ctypes call replaces R, and every replica's arithmetic is literally
+ * the solo routine — bitwise identity with a solo run is structural. */
+void rk_shake_batch(int64_t nrep, int64_t natoms, double *pos,
+                    const double *ref, const int64_t *ci, const int64_t *cj,
+                    const double *d2, const double *inv, const double *L,
+                    int64_t ncon, const int64_t *order,
+                    const int64_t *starts, int64_t nbatch, int64_t iters,
+                    double tol, double *dref)
+{
+    for (int64_t r = 0; r < nrep; r++)
+        rk_shake(pos + 3 * natoms * r, ref + 3 * natoms * r, ci, cj, d2,
+                 inv, L, ncon, order, starts, nbatch, iters, tol, dref);
+}
+
 /* ConstraintSolver.rattle.  `dx_all` (ncon, 3) and `d2_all` (ncon) are
  * caller-provided scratch. */
 void rk_rattle(double *vel, const double *pos, const int64_t *ci,
@@ -381,6 +398,20 @@ void rk_rattle(double *vel, const double *pos, const int64_t *ci,
             }
         }
     }
+}
+
+/* Leading-replica-axis RATTLE; see rk_shake_batch. */
+void rk_rattle_batch(int64_t nrep, int64_t natoms, double *vel,
+                     const double *pos, const int64_t *ci, const int64_t *cj,
+                     const double *inv, const double *L, int64_t ncon,
+                     const int64_t *order, const int64_t *starts,
+                     int64_t nbatch, int64_t iters, double tol,
+                     double *dx_all, double *d2_all)
+{
+    for (int64_t r = 0; r < nrep; r++)
+        rk_rattle(vel + 3 * natoms * r, pos + 3 * natoms * r, ci, cj, inv,
+                  L, ncon, order, starts, nbatch, iters, tol, dx_all,
+                  d2_all);
 }
 
 /* -- mesh stencil plan -------------------------------------------------- */

@@ -136,6 +136,14 @@ def _declare(lib: ctypes.CDLL) -> None:
     lib.rk_shake.argtypes = [p, p, p, p, p, p, p, i64, p, p, i64, i64, f64, p]
     lib.rk_rattle.restype = None
     lib.rk_rattle.argtypes = [p, p, p, p, p, p, i64, p, p, i64, i64, f64, p, p]
+    lib.rk_shake_batch.restype = None
+    lib.rk_shake_batch.argtypes = (
+        [i64, i64, p, p, p, p, p, p, p, i64, p, p, i64, i64, f64, p]
+    )
+    lib.rk_rattle_batch.restype = None
+    lib.rk_rattle_batch.argtypes = (
+        [i64, i64, p, p, p, p, p, p, i64, p, p, i64, i64, f64, p, p]
+    )
 
 
 def load() -> ctypes.CDLL:

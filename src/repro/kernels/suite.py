@@ -280,6 +280,28 @@ class NumpyKernels:
     def rattle(self, solver, velocities, positions, tol):
         return solver._rattle_numpy(velocities, positions, tol)
 
+    # -- leading-replica-axis constraint variants --------------------------
+
+    def shake_batch(self, solver, positions, reference, tol, nrep, natoms):
+        """SHAKE ``nrep`` replicas stacked along the atom axis.
+
+        ``solver`` is the *solo* :class:`ConstraintSolver`; replica ``r``
+        owns rows ``[r * natoms, (r + 1) * natoms)`` of ``positions`` and
+        ``reference``.  The reference tier simply runs the solo sweep per
+        replica slice, which is the bitwise definition of the contract.
+        """
+        for r in range(nrep):
+            sl = slice(r * natoms, (r + 1) * natoms)
+            solver._shake_numpy(positions[sl], reference[sl], tol)
+        return positions
+
+    def rattle_batch(self, solver, velocities, positions, tol, nrep, natoms):
+        """RATTLE ``nrep`` replicas stacked along the atom axis."""
+        for r in range(nrep):
+            sl = slice(r * natoms, (r + 1) * natoms)
+            solver._rattle_numpy(velocities[sl], positions[sl], tol)
+        return velocities
+
 
 class CompiledKernels(NumpyKernels):
     """ctypes tier: same contract, C hot loops.
@@ -371,6 +393,38 @@ class CompiledKernels(NumpyKernels):
             return solver._rattle_numpy(velocities, positions, tol)
         ci, cj, d2, inv, lengths, order, starts, dref, dx_all, d2_all = pre
         self._lib.rk_rattle(
+            _ptr(velocities), _ptr(np.ascontiguousarray(positions)),
+            _ptr(ci), _ptr(cj), _ptr(inv), _ptr(lengths),
+            len(ci), _ptr(order), _ptr(starts), len(starts) - 1,
+            solver.iterations, float(tol), _ptr(dx_all), _ptr(d2_all),
+        )
+        return velocities
+
+    def shake_batch(self, solver, positions, reference, tol, nrep, natoms):
+        pre = solver._compiled_arrays()
+        if pre is None:
+            return NumpyKernels.shake_batch(
+                self, solver, positions, reference, tol, nrep, natoms
+            )
+        ci, cj, d2, inv, lengths, order, starts, dref, dx_all, d2_all = pre
+        self._lib.rk_shake_batch(
+            int(nrep), int(natoms),
+            _ptr(positions), _ptr(np.ascontiguousarray(reference)),
+            _ptr(ci), _ptr(cj), _ptr(d2), _ptr(inv), _ptr(lengths),
+            len(ci), _ptr(order), _ptr(starts), len(starts) - 1,
+            solver.iterations, float(tol), _ptr(dref),
+        )
+        return positions
+
+    def rattle_batch(self, solver, velocities, positions, tol, nrep, natoms):
+        pre = solver._compiled_arrays()
+        if pre is None:
+            return NumpyKernels.rattle_batch(
+                self, solver, velocities, positions, tol, nrep, natoms
+            )
+        ci, cj, d2, inv, lengths, order, starts, dref, dx_all, d2_all = pre
+        self._lib.rk_rattle_batch(
+            int(nrep), int(natoms),
             _ptr(velocities), _ptr(np.ascontiguousarray(positions)),
             _ptr(ci), _ptr(cj), _ptr(inv), _ptr(lengths),
             len(ci), _ptr(order), _ptr(starts), len(starts) - 1,

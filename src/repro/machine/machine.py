@@ -648,36 +648,7 @@ class AntonMachine:
         none of its children counts as unattributed, so this is the
         number that exposes hidden per-step bookkeeping.
         """
-        t = self.calc.timers
-        steps = max(self.integrator.step_count, 1)
-        total = t.paths.get("machine_step", 0.0)
-
-        def scale(node: dict) -> dict:
-            return {
-                name: {
-                    "seconds_per_step": entry["seconds"] / steps,
-                    "children": scale(entry["children"]),
-                }
-                for name, entry in sorted(
-                    node.items(), key=lambda kv: -kv[1]["seconds"]
-                )
-            }
-
-        def leaf_seconds(entry: dict) -> float:
-            if not entry["children"]:
-                return entry["seconds"]
-            return sum(leaf_seconds(c) for c in entry["children"].values())
-
-        phases = t.tree("machine_step")
-        covered = sum(entry["seconds"] for entry in phases.values())
-        leaf_covered = sum(leaf_seconds(entry) for entry in phases.values())
-        out = {
-            "steps": self.integrator.step_count,
-            "wall_per_step": total / steps,
-            "coverage": covered / total if total > 0.0 else 0.0,
-            "leaf_coverage": leaf_covered / total if total > 0.0 else 0.0,
-            "phases": scale(phases),
-        }
+        out = self.calc.timers.profile("machine_step", self.integrator.step_count)
         if self.fault_controller is not None:
             out["faults"] = self.fault_report()
             out["recovery_traffic"] = {

@@ -128,6 +128,48 @@ class Timers:
             leaf["seconds"] += secs
         return out
 
+    def profile(self, root: str, steps: int) -> dict:
+        """Hierarchical per-step profile with attribution ratios.
+
+        Folds the subtree under the top-level ``root`` phase into
+        per-step seconds and computes two ratios against the measured
+        ``root`` wall time: ``coverage`` (fraction accounted for by the
+        root's direct children) and the stricter ``leaf_coverage``
+        (fraction attributed all the way down to named leaf phases —
+        time inside a parent but in none of its children counts as
+        unattributed).  Shared by the machine's ``--profile`` dump and
+        the ensemble engine so both report under one contract.
+        """
+        divisor = max(int(steps), 1)
+        total = self.paths.get(root, 0.0)
+
+        def scale(node: dict) -> dict:
+            return {
+                name: {
+                    "seconds_per_step": entry["seconds"] / divisor,
+                    "children": scale(entry["children"]),
+                }
+                for name, entry in sorted(
+                    node.items(), key=lambda kv: -kv[1]["seconds"]
+                )
+            }
+
+        def leaf_seconds(entry: dict) -> float:
+            if not entry["children"]:
+                return entry["seconds"]
+            return sum(leaf_seconds(c) for c in entry["children"].values())
+
+        phases = self.tree(root)
+        covered = sum(entry["seconds"] for entry in phases.values())
+        leaf_covered = sum(leaf_seconds(entry) for entry in phases.values())
+        return {
+            "steps": int(steps),
+            "wall_per_step": total / divisor,
+            "coverage": covered / total if total > 0.0 else 0.0,
+            "leaf_coverage": leaf_covered / total if total > 0.0 else 0.0,
+            "phases": scale(phases),
+        }
+
     def summary_lines(self) -> list[str]:
         """Human-readable cumulative summary, slowest component first."""
         lines = [

@@ -51,6 +51,31 @@ class TestCLI:
         assert prof["coverage"] >= 0.9
         assert "step" in prof["phases"]
 
+    def test_ensemble_with_detach_and_artifacts(self, capsys, tmp_path):
+        assert main(["ensemble", "--replicas", "2", "--waters", "24",
+                     "--steps", "8", "--record-every", "4", "--detach", "1",
+                     "--trajectory", str(tmp_path / "t.rrs"),
+                     "--checkpoint-dir", str(tmp_path / "ck"),
+                     "--checkpoint-every", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "replica seeds:" in out
+        assert "state codes bitwise identical: True" in out
+        assert (tmp_path / "t.r000.rrs").exists()
+        assert (tmp_path / "t.r001.rrs").exists()
+        assert (tmp_path / "ck" / "replica-000").is_dir()
+        assert (tmp_path / "ck" / "replica-001").is_dir()
+
+    def test_ensemble_explicit_seed_list(self, capsys):
+        assert main(["ensemble", "--replicas", "2", "--waters", "24",
+                     "--steps", "2", "--seeds", "11,12"]) == 0
+        out = capsys.readouterr().out
+        assert "replica seeds: 11, 12" in out
+
+    def test_ensemble_seed_list_length_mismatch(self):
+        with pytest.raises(SystemExit, match="2 seeds"):
+            main(["ensemble", "--replicas", "3", "--waters", "24",
+                  "--steps", "2", "--seeds", "11,12"])
+
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
