@@ -5,16 +5,21 @@ The production metric the ROADMAP targets is aggregate ensemble
 throughput — total replica-steps per second across many concurrent
 simulations — not single-run latency.  This benchmark times the
 batched :class:`~repro.ensemble.EnsembleSimulation` at R in {1, 4, 16}
-under both kernel tiers and reports the ratio against the sequential
-baseline: R independent solo :class:`~repro.core.Simulation` runs
-executed one after the other (whose aggregate steps/sec equals one
+under both kernel tiers — the compiled tier additionally at
+``kernel_threads`` in {1, 2, 8} — and reports the ratio against the
+sequential baseline: R independent solo :class:`~repro.core.Simulation`
+runs executed one after the other (whose aggregate steps/sec equals one
 solo run's steps/sec, so a single timed solo run suffices).
 
 The bitwise contract is asserted inside the timing sweep, not just in
-the test suite: replica 0 of every batched run must finish with state
-codes identical to the solo baseline run seeded the same way.
+the test suite: replica 0 of every batched run — every tier, every
+thread count — must finish with state codes identical to the solo
+baseline run seeded the same way.
 
-Gates (full mode): ratio >= 3.0 at R=16 on the compiled tier.
+Gates (full mode): ratio >= 3.0 at R=16 on the compiled tier, and
+T=8 vs T=1 wall speedup >= 2.5x at R=16 when the host has >= 8 cores
+(a single-CPU runner cannot gain from threads; the bitwise check is
+enforced regardless).
 Gates (smoke mode): ratio > 1.5 at R=4 on the compiled tier.
 
 Usage:
@@ -26,6 +31,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -48,6 +54,10 @@ HEADLINE_MIN_RATIO = 3.0
 #: Smoke-mode gate: ratio at R=4, compiled tier.
 SMOKE_REPLICAS = 4
 SMOKE_MIN_RATIO = 1.5
+#: Thread-speedup gate (T=8 vs T=1 at the headline replica count),
+#: evaluated only on hosts with enough cores for threads to win.
+THREAD_MIN_SPEEDUP = 2.5
+MIN_CORES_FOR_THREAD_GATE = 8
 
 #: Steps run before the timing window opens (neighbor-list build,
 #: mesh-plan construction, compiled-kernel load, first-touch scratch).
@@ -87,11 +97,12 @@ def time_solo(base, params, seed: int, steps: int):
     return steps / wall, (solo.integrator.X.copy(), solo.integrator.V.copy())
 
 
-def time_ensemble(base, params, seeds, tier: str, steps: int):
+def time_ensemble(base, params, seeds, tier: str, steps: int, threads=None):
     """(aggregate steps/sec, replica-0 state codes) for one batched run."""
     ens = EnsembleSimulation(
         base, params, dt=1.0, seeds=list(seeds),
         temperature=TEMPERATURE, constraints=True, kernel_tier=tier,
+        kernel_threads=threads,
     )
     ens.run(WARMUP_STEPS)
     t0 = time.perf_counter()
@@ -100,29 +111,35 @@ def time_ensemble(base, params, seeds, tier: str, steps: int):
     return len(seeds) * steps / wall, ens.state_codes(0)
 
 
-def sweep(base, params, replica_counts, tiers, steps: int):
+def sweep(base, params, replica_counts, configs, steps: int):
+    """``configs`` is a list of (kernel_tier, kernel_threads) pairs."""
     seeds = derive_replica_seeds(BASE_SEED, max(replica_counts))
     solo_sps, solo_state = time_solo(base, params, seeds[0], steps)
     print(f"  solo baseline: {solo_sps:8.1f} steps/s "
           f"(= sequential aggregate at every R)")
     entries = []
-    for tier in tiers:
+    for tier, threads in configs:
         for r in replica_counts:
-            agg, state0 = time_ensemble(base, params, seeds[:r], tier, steps)
+            agg, state0 = time_ensemble(
+                base, params, seeds[:r], tier, steps, threads=threads
+            )
             same = bool(
                 np.array_equal(state0[0], solo_state[0])
                 and np.array_equal(state0[1], solo_state[1])
             )
             ratio = agg / solo_sps
-            print(f"  R={r:<3} tier={tier:<9} {agg:8.1f} agg steps/s   "
+            print(f"  R={r:<3} tier={tier:<9} T={threads or 1:<3} "
+                  f"{agg:8.1f} agg steps/s   "
                   f"ratio {ratio:5.2f}x   replica0==solo: {same}")
             if not same:
                 raise SystemExit(
-                    f"FAIL: replica 0 diverged from solo (R={r}, tier={tier})"
+                    f"FAIL: replica 0 diverged from solo "
+                    f"(R={r}, tier={tier}, threads={threads or 1})"
                 )
             entries.append({
                 "replicas": r,
                 "kernel_tier": tier,
+                "kernel_threads": threads or 1,
                 "aggregate_steps_per_sec": agg,
                 "ratio_vs_sequential_solo": ratio,
                 "replica0_bitwise_identical_to_solo": same,
@@ -130,9 +147,10 @@ def sweep(base, params, replica_counts, tiers, steps: int):
     return solo_sps, entries
 
 
-def gate_ratio(entries, replicas: int, tier: str) -> float | None:
+def gate_ratio(entries, replicas: int, tier: str, threads: int = 1) -> float | None:
     for e in entries:
-        if e["replicas"] == replicas and e["kernel_tier"] == tier:
+        if (e["replicas"] == replicas and e["kernel_tier"] == tier
+                and e.get("kernel_threads", 1) == threads):
             return e["ratio_vs_sequential_solo"]
     return None
 
@@ -146,33 +164,51 @@ def main(argv=None) -> int:
                     default=RESULTS / "BENCH_ensemble_throughput.json")
     args = ap.parse_args(argv)
 
-    tiers = ["numpy"]
-    if kernels_available():
-        tiers.append("compiled")
-    else:
+    have_compiled = kernels_available()
+    if not have_compiled:
         print("note: no C compiler found — compiled-tier entries skipped")
+    cpu_count = os.cpu_count() or 1
 
     if args.smoke:
         base, params = build_base(64, cutoff=5.5)
         print(f"smoke: {base.n_atoms} atoms/replica")
-        _, entries = sweep(base, params, [1, SMOKE_REPLICAS], tiers,
+        configs = [("numpy", None)]
+        if have_compiled:
+            # T=8 rides along for the in-sweep bitwise check (threads
+            # must be invisible in the state codes), not for speed.
+            configs += [("compiled", None), ("compiled", 8)]
+        _, entries = sweep(base, params, [1, SMOKE_REPLICAS], configs,
                            steps=min(args.steps, 10))
-        if "compiled" in tiers:
+        if have_compiled:
             ratio = gate_ratio(entries, SMOKE_REPLICAS, "compiled")
             if ratio <= SMOKE_MIN_RATIO:
                 raise SystemExit(
                     f"FAIL: compiled R={SMOKE_REPLICAS} ratio {ratio:.2f}x "
                     f"<= {SMOKE_MIN_RATIO}x"
                 )
+            print("thread-sweep bitwise check passed (T=8 replica0 == solo)")
         print("OK")
         return 0
 
     base, params = build_base(250, cutoff=9.0)
     print(f"full: {base.n_atoms} atoms/replica, box {base.box.lengths[0]:.1f} A, "
           f"cutoff {params.cutoff:.1f} A")
-    solo_sps, entries = sweep(base, params, [1, 4, HEADLINE_REPLICAS], tiers,
+    configs = [("numpy", None)]
+    if have_compiled:
+        configs += [("compiled", None), ("compiled", 2), ("compiled", 8)]
+    solo_sps, entries = sweep(base, params, [1, 4, HEADLINE_REPLICAS], configs,
                               steps=args.steps)
     headline = gate_ratio(entries, HEADLINE_REPLICAS, "compiled")
+    thread_speedup = None
+    if have_compiled:
+        t1 = gate_ratio(entries, HEADLINE_REPLICAS, "compiled", 1)
+        t8 = gate_ratio(entries, HEADLINE_REPLICAS, "compiled", 8)
+        if t1 and t8:
+            thread_speedup = t8 / t1
+            print(
+                f"kernel_threads=8 aggregate speedup {thread_speedup:.2f}x "
+                f"vs T=1 at R={HEADLINE_REPLICAS} (host cores: {cpu_count})"
+            )
     payload = {
         "bench": "ensemble_throughput",
         "system": {
@@ -184,6 +220,7 @@ def main(argv=None) -> int:
         },
         "steps": args.steps,
         "warmup_steps": WARMUP_STEPS,
+        "cpu_count": cpu_count,
         "solo_steps_per_sec": solo_sps,
         "sweep": entries,
         "headline": {
@@ -191,15 +228,24 @@ def main(argv=None) -> int:
             "kernel_tier": "compiled",
             "ratio_vs_sequential_solo": headline,
             "required_ratio": HEADLINE_MIN_RATIO,
+            "thread_speedup_t8_vs_t1": thread_speedup,
+            "required_thread_speedup": THREAD_MIN_SPEEDUP,
+            "thread_gate_evaluated": bool(
+                thread_speedup is not None
+                and cpu_count >= MIN_CORES_FOR_THREAD_GATE
+            ),
         },
         "notes": (
             "aggregate steps/sec = R * steps / wall for one batched run; the "
             "sequential-solo baseline's aggregate equals a single solo run's "
             "steps/sec (runs execute one at a time). The solo engine has one "
             "tier, so both ensemble tiers gate against the same baseline. "
-            "Replica 0 of every timed run is verified bitwise identical to "
-            "the solo baseline seeded identically — the speedup never buys "
-            "back determinism. numpy-tier ratios hover near 1x at this size "
+            "Replica 0 of every timed run — every tier and every "
+            "kernel_threads value — is verified bitwise identical to "
+            "the solo baseline seeded identically; the speedup never buys "
+            "back determinism. The thread-speedup gate only fires on hosts "
+            "with >= 8 cores (see cpu_count). "
+            "numpy-tier ratios hover near 1x at this size "
             "(kernel-bound); the compiled tier exposes the per-step dispatch "
             "that batching amortizes."
         ),
@@ -207,12 +253,25 @@ def main(argv=None) -> int:
     args.out.parent.mkdir(parents=True, exist_ok=True)
     args.out.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {args.out}")
-    if "compiled" in tiers:
+    if have_compiled:
         if headline < HEADLINE_MIN_RATIO:
             raise SystemExit(
                 f"FAIL: compiled R={HEADLINE_REPLICAS} ratio {headline:.2f}x "
                 f"< {HEADLINE_MIN_RATIO}x"
             )
+        if thread_speedup is not None:
+            if cpu_count >= MIN_CORES_FOR_THREAD_GATE:
+                if thread_speedup < THREAD_MIN_SPEEDUP:
+                    raise SystemExit(
+                        f"FAIL: kernel_threads=8 speedup {thread_speedup:.2f}x "
+                        f"< {THREAD_MIN_SPEEDUP}x vs T=1 at R={HEADLINE_REPLICAS}"
+                    )
+            else:
+                print(
+                    f"note: host has {cpu_count} cores "
+                    f"(< {MIN_CORES_FOR_THREAD_GATE}) — thread speedup gate "
+                    "not evaluated; the bitwise check was enforced"
+                )
     else:
         print("warning: compiled tier unavailable — headline gate not evaluated")
     print("OK")

@@ -21,7 +21,11 @@ strategy *and* to the kernel tier), and measures per step:
 The ``vectorized-compiled`` entry runs the vectorized backend with
 ``kernel_tier="compiled"`` (skipped, with a note, when no C compiler is
 available); it is the headline configuration gated against the PR 5
-baseline in ``BENCH_machine_scaling_pr5.json``.
+baseline in ``BENCH_machine_scaling_pr5.json``.  The ``-t2``/``-t8``
+twins add ``kernel_threads`` and ride the same in-sweep bitwise check
+(threads are contractually invisible in the state codes); their wall
+speedup is gated only on hosts with enough cores to make the gate
+meaningful.
 
 Usage:
     python benchmarks/bench_machine_scaling.py          # full sweep + JSON
@@ -32,6 +36,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -57,6 +62,14 @@ HEADLINE_MIN_SPEEDUP = 5.0
 HEADLINE_MIN_WALL_IMPROVEMENT = 5.0
 #: Framework-overhead ceiling at the headline node count (vectorized).
 MAX_OVERHEAD_RATIO = 0.5
+#: Wall-clock speedup the threaded compiled entry (T=8) must reach vs
+#: its single-threaded twin at the headline node count.  Only gated on
+#: hosts with >= MIN_CORES_FOR_THREAD_GATE cores — threads cannot beat
+#: serial on a single-CPU runner, and the bitwise sweep check (which IS
+#: enforced everywhere) is the part of the thread contract that must
+#: never regress.
+THREAD_MIN_SPEEDUP = 2.5
+MIN_CORES_FOR_THREAD_GATE = 8
 
 #: Steps run before the timing window opens (first-touch allocations,
 #: neighbor-list build, compiled-kernel load all land here).
@@ -84,7 +97,8 @@ def leaf_seconds(paths: dict[str, float]) -> float:
     )
 
 
-def run_backend(system, params, n_nodes: int, backend, steps: int, kernel_tier=None):
+def run_backend(system, params, n_nodes: int, backend, steps: int,
+                kernel_tier=None, kernel_threads=None):
     """Step one machine; return (state, per-step metrics).
 
     ``WARMUP_STEPS`` are run (and excluded from every timing) before
@@ -92,7 +106,7 @@ def run_backend(system, params, n_nodes: int, backend, steps: int, kernel_tier=N
     """
     machine = AntonMachine(
         system.copy(), params, n_nodes=n_nodes, dt=1.0, backend=backend,
-        kernel_tier=kernel_tier,
+        kernel_tier=kernel_tier, kernel_threads=kernel_threads,
     )
     try:
         machine.step(WARMUP_STEPS)
@@ -115,6 +129,7 @@ def run_backend(system, params, n_nodes: int, backend, steps: int, kernel_tier=N
         machine.close()
     attributed = leaf_seconds(paths_delta)
     return state, {
+        "kernel_threads": kernel_threads or 1,
         "wall_per_step": wall / steps,
         "engine_per_step": engine / steps,
         "attributed_per_step": attributed / steps,
@@ -132,10 +147,11 @@ def sweep(system, params, node_counts, backends, steps: int):
     for n_nodes in node_counts:
         entry = {"n_nodes": n_nodes, "backends": {}}
         states = {}
-        for name, backend, tier in backends:
-            print(f"  {n_nodes:>4} nodes / {name:<19} ... ", end="", flush=True)
+        for name, backend, tier, threads in backends:
+            print(f"  {n_nodes:>4} nodes / {name:<22} ... ", end="", flush=True)
             state, metrics = run_backend(
-                system, params, n_nodes, backend, steps, kernel_tier=tier
+                system, params, n_nodes, backend, steps,
+                kernel_tier=tier, kernel_threads=threads,
             )
             states[name] = state
             entry["backends"][name] = metrics
@@ -198,10 +214,21 @@ def main(argv=None) -> int:
         )
         system = build_system(48, params)
         print(f"smoke: {system.n_atoms} atoms")
-        backends = [("serial", "serial", None), ("vectorized", "vectorized", None)]
+        backends = [
+            ("serial", "serial", None, None),
+            ("vectorized", "vectorized", None, None),
+        ]
         if compiled_tier:
-            backends.append(("vectorized-compiled", "vectorized", compiled_tier))
+            backends.append(("vectorized-compiled", "vectorized", compiled_tier, None))
+            # The threaded entry is here for the in-sweep bitwise check
+            # (threads must be invisible in the state codes), not for
+            # speed — CI runners may have too few cores to gain.
+            backends.append(
+                ("vectorized-compiled-t8", "vectorized", compiled_tier, 8)
+            )
         results = sweep(system, params, [64], backends, steps=args.steps)
+        if compiled_tier:
+            print("thread-sweep bitwise check passed (T=8 == T=1 state codes)")
         speedup = results[0]["engine_speedup_vectorized"]
         print(f"engine speedup at 64 nodes: {speedup:.1f}x")
         if speedup <= 1.0:
@@ -235,12 +262,18 @@ def main(argv=None) -> int:
     system = build_system(1700, params)
     print(f"full: {system.n_atoms} atoms, box {system.box.lengths[0]:.1f} A")
     backends = [
-        ("serial", "serial", None),
-        ("vectorized", "vectorized", None),
-        ("process", ProcessBackend(n_workers=2), None),
+        ("serial", "serial", None, None),
+        ("vectorized", "vectorized", None, None),
+        ("process", ProcessBackend(n_workers=2), None, None),
     ]
     if compiled_tier:
-        backends.insert(2, ("vectorized-compiled", "vectorized", compiled_tier))
+        backends.insert(2, ("vectorized-compiled", "vectorized", compiled_tier, None))
+        backends.insert(
+            3, ("vectorized-compiled-t2", "vectorized", compiled_tier, 2)
+        )
+        backends.insert(
+            4, ("vectorized-compiled-t8", "vectorized", compiled_tier, 8)
+        )
     results = sweep(system, params, [8, 64, 256], backends, steps=args.steps)
 
     headline = next(r for r in results if r["n_nodes"] == HEADLINE_NODES)
@@ -254,6 +287,16 @@ def main(argv=None) -> int:
     )
     baseline_wall = pr5_headline_wall()
     improvement = baseline_wall / headline_wall if baseline_wall else None
+    cpu_count = os.cpu_count() or 1
+    thread_speedup = None
+    if compiled_tier:
+        wall_t1 = headline["backends"]["vectorized-compiled"]["wall_per_step"]
+        wall_t8 = headline["backends"]["vectorized-compiled-t8"]["wall_per_step"]
+        thread_speedup = wall_t1 / max(wall_t8, 1e-12)
+        print(
+            f"headline: kernel_threads=8 wall speedup {thread_speedup:.2f}x "
+            f"vs T=1 at {HEADLINE_NODES} nodes (host cores: {cpu_count})"
+        )
     print(
         f"headline: engine speedup {speedup:.1f}x ({headline_name}), "
         f"full-step speedup {headline['full_step_speedup_vectorized']:.2f}x "
@@ -275,6 +318,7 @@ def main(argv=None) -> int:
         },
         "steps": args.steps,
         "warmup_steps": WARMUP_STEPS,
+        "cpu_count": cpu_count,
         "sweep": results,
         "headline": {
             "n_nodes": HEADLINE_NODES,
@@ -287,6 +331,12 @@ def main(argv=None) -> int:
             "pr5_baseline_wall_per_step": baseline_wall,
             "wall_improvement_vs_pr5": improvement,
             "required_wall_improvement": HEADLINE_MIN_WALL_IMPROVEMENT,
+            "thread_speedup_t8_vs_t1": thread_speedup,
+            "required_thread_speedup": THREAD_MIN_SPEEDUP,
+            "thread_gate_evaluated": bool(
+                thread_speedup is not None
+                and cpu_count >= MIN_CORES_FOR_THREAD_GATE
+            ),
         },
         "notes": (
             "engine time = machine_nt_assign + machine_deposit + machine_traffic "
@@ -297,7 +347,10 @@ def main(argv=None) -> int:
             "phases — the remainder is framework glue no phase claims. "
             "vectorized-compiled is the vectorized backend with "
             "kernel_tier='compiled' (ctypes C kernels, bitwise identical to "
-            "the numpy tier). The process backend demonstrates bitwise-"
+            "the numpy tier); -t2/-t8 add kernel_threads worker lanes, which "
+            "are bitwise-invisible (enforced by the in-sweep state check) "
+            "and gated on wall speedup only when cpu_count allows. "
+            "The process backend demonstrates bitwise-"
             "identical multiprocess execution; on single-CPU runners its wall "
             "time includes worker IPC overhead."
         ),
@@ -321,6 +374,19 @@ def main(argv=None) -> int:
             f"FAIL: overhead_ratio {ratio:.3f} > {MAX_OVERHEAD_RATIO} "
             f"at {HEADLINE_NODES} nodes ({headline_name})"
         )
+    if thread_speedup is not None:
+        if cpu_count >= MIN_CORES_FOR_THREAD_GATE:
+            if thread_speedup < THREAD_MIN_SPEEDUP:
+                raise SystemExit(
+                    f"FAIL: kernel_threads=8 wall speedup {thread_speedup:.2f}x "
+                    f"< {THREAD_MIN_SPEEDUP}x vs T=1 at {HEADLINE_NODES} nodes"
+                )
+        else:
+            print(
+                f"note: host has {cpu_count} cores "
+                f"(< {MIN_CORES_FOR_THREAD_GATE}) — thread speedup gate not "
+                "evaluated; the bitwise thread-sweep check was enforced"
+            )
     print("OK")
     return 0
 

@@ -89,6 +89,9 @@ def _add_ensemble(sub) -> None:
     p.add_argument("--kernel-tier", choices=("numpy", "compiled"), default=None,
                    help="hot-loop kernel tier (bitwise identical across tiers); "
                         "default: $REPRO_KERNEL_TIER or numpy")
+    p.add_argument("--kernel-threads", type=int, default=None, metavar="T",
+                   help="compiled-tier worker threads (bitwise identical for "
+                        "every T); default: $REPRO_KERNEL_THREADS or 1")
     p.add_argument("--detach", type=int, default=None, metavar="R",
                    help="after the run, detach replica R into a solo "
                         "Simulation and verify its state codes match")
@@ -126,6 +129,10 @@ def _add_machine(sub) -> None:
                         "extension on first use (bitwise identical to numpy; "
                         "falls back with a warning if no C compiler is found); "
                         "default: $REPRO_KERNEL_TIER or numpy")
+    p.add_argument("--kernel-threads", type=int, default=None, metavar="T",
+                   help="compiled-tier worker threads from the persistent "
+                        "pthread pool (bitwise identical for every T); "
+                        "default: $REPRO_KERNEL_THREADS or 1")
     p.add_argument("--timings", action="store_true",
                    help="print per-phase machine engine timings after the run")
     p.add_argument("--profile", action="store_true",
@@ -301,8 +308,12 @@ def cmd_ensemble(args) -> int:
         thermostat=BerendsenThermostat(args.temperature),
         constraints=True,
         kernel_tier=args.kernel_tier,
+        kernel_threads=args.kernel_threads,
     )
-    print(f"kernel tier: {ens.kernels.tier}")
+    print(
+        f"kernel tier: {ens.kernels.tier} "
+        f"(threads: {getattr(ens.kernels, 'threads', 1)})"
+    )
 
     trajectories = None
     trajectory_every = args.trajectory_every or args.record_every
@@ -391,7 +402,8 @@ def cmd_machine(args) -> int:
         )
     machine = AntonMachine(
         base.copy(), params, n_nodes=args.nodes, dt=1.0, backend=args.backend,
-        kernel_tier=args.kernel_tier, **fault_kwargs,
+        kernel_tier=args.kernel_tier, kernel_threads=args.kernel_threads,
+        **fault_kwargs,
     )
     steps = args.steps
     if loaded is not None:
@@ -422,6 +434,8 @@ def cmd_machine(args) -> int:
     print(f"{args.nodes}-node machine, {args.steps} steps "
           f"({machine.topology.dims[0]}x{machine.topology.dims[1]}x{machine.topology.dims[2]} torus), "
           f"{args.backend} backend")
+    print(f"kernel tier: {machine.backend.kernels.tier} "
+          f"(threads: {getattr(machine.backend.kernels, 'threads', 1)})")
     print(f"messages/node/step: {machine.messages_per_node_per_step():.1f}")
     for tag, (msgs, nbytes) in sorted(machine.traffic_summary().items()):
         print(f"  {tag:<20} {msgs:>8} msgs {nbytes:>12} bytes")

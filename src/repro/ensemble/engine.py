@@ -326,29 +326,58 @@ class EnsembleForceCalculator(ForceCalculator):
         self._plan = plan
         mesh_shape = (R, *(int(m) for m in g.mesh))
         m_points = g.mesh_point_count()
+        # Replicas are the parallel unit: each owns disjoint plan rows,
+        # mesh slab, and force rows, so farming them to the kernel
+        # suite's thread pool cannot reorder any reduction.  Worker
+        # threads get the single-threaded `serial` suite — the C lanes
+        # belong to the process-wide pool, never nested inside Python
+        # threads.  map_chunks degenerates to the same `for r in
+        # range(R)` loop at threads=1, so the serial bits are literal.
+        serial = getattr(self.kernels, "serial", self.kernels)
+        nthreads = getattr(self.kernels, "threads", 1)
+        replica_views = plan._thread_views(R)[1] if R > 1 else [plan]
         with self.timers.time("mesh_spread"):
             if self.mesh_codec is not None:
                 acc = np.zeros((R, m_points), dtype=np.int64)
-                for r in range(R):
-                    plan.rows_view(r * n, (r + 1) * n).spread_codes(
-                        q_solo, acc[r], self.mesh_codec, kernels=self.kernels
+
+                def _spread(r):
+                    replica_views[r].spread_codes(
+                        q_solo, acc[r], self.mesh_codec, kernels=serial
                     )
+
+                self.kernels.map_chunks(_spread, R)
                 Q = self.mesh_codec.reconstruct(self.mesh_codec.wrap(acc)).reshape(
                     mesh_shape
                 )
             else:
                 Qf = np.zeros((R, m_points))
                 for r in range(R):
-                    plan.rows_view(r * n, (r + 1) * n).spread_float(q_solo, Qf[r])
+                    replica_views[r].spread_float(q_solo, Qf[r])
                 Q = Qf.reshape(mesh_shape)
         with self.timers.time("mesh_fft"):
-            phi, energies = g.solve_stack(Q)
+            if nthreads > 1 and R > 1:
+                # Per-replica solo transforms in worker threads: the
+                # stacked solve is pinned bitwise to R solo solves, so
+                # this is the same bytes with the replica axis farmed
+                # out (pocketfft releases the GIL).
+                phi = np.empty(mesh_shape)
+                energies = np.empty(R)
+
+                def _solve(r):
+                    phi[r], energies[r] = g.solve(Q[r])
+
+                self.kernels.map_chunks(_solve, R)
+            else:
+                phi, energies = g.solve_stack(Q)
         with self.timers.time("mesh_interp"):
             forces = np.empty((R * n, 3))
-            for r in range(R):
-                plan.rows_view(r * n, (r + 1) * n).interpolate_forces(
+
+            def _interp(r):
+                replica_views[r].interpolate_forces(
                     q_solo, phi[r], out=forces[r * n : (r + 1) * n]
                 )
+
+            self.kernels.map_chunks(_interp, R)
         return energies, forces
 
     def compute_long_fixed(self, positions: np.ndarray, force_codec):
@@ -539,7 +568,9 @@ class EnsembleSimulation:
     as ``system.initialize_velocities(temperature, seed=seeds[r])``
     would solo; with ``seeds=None`` all ``replicas`` blocks start from
     the solo velocities verbatim.  ``kernel_tier`` picks the kernel
-    suite (default: the ``REPRO_KERNEL_TIER`` environment resolution).
+    suite and ``kernel_threads`` its worker-lane count (defaults: the
+    ``REPRO_KERNEL_TIER`` / ``REPRO_KERNEL_THREADS`` environment
+    resolution).  Both knobs are bitwise-invisible.
 
     Per-replica artifacts (energy records, trajectory frames,
     checkpoints) use the *solo* fingerprint and the solo formats, so
@@ -559,6 +590,7 @@ class EnsembleSimulation:
         thermostat: BerendsenThermostat | None = None,
         constraints: bool = True,
         kernel_tier: str | None = None,
+        kernel_threads: int | None = None,
     ):
         if seeds is not None:
             if replicas is not None and replicas != len(seeds):
@@ -581,7 +613,7 @@ class EnsembleSimulation:
         self.seeds = list(seeds) if seeds is not None else None
         self.solo_thermostat = thermostat
         self.constraints_enabled = bool(constraints)
-        self.kernels = get_suite(kernel_tier)
+        self.kernels = get_suite(kernel_tier, kernel_threads)
 
         n = self.n_solo
         velocities = np.empty((self.replicas * n, 3))

@@ -130,7 +130,7 @@ class MeshStencilPlan:
     requirement.
     """
 
-    __slots__ = ("gse", "n", "shape", "flat", "w", "axis_d", "_scratch")
+    __slots__ = ("gse", "n", "shape", "flat", "w", "axis_d", "_scratch", "_mt_views")
 
     def __init__(self, gse: "GaussianSplitEwald", n: int):
         kx, ky, kz = (int(2 * c + 1) for c in gse._offsets)
@@ -142,6 +142,7 @@ class MeshStencilPlan:
         self.w = np.empty((self.n, kx, ky, kz))
         self.axis_d = [np.empty((self.n, k)) for k in (kx, ky, kz)]
         self._scratch: np.ndarray | None = None
+        self._mt_views = None
 
     def _buffer(self, chunk: int) -> np.ndarray:
         """Reusable (chunk, k) contribution buffer.
@@ -249,7 +250,23 @@ class MeshStencilPlan:
         v.w = self.w[lo:hi]
         v.axis_d = [a[lo:hi] for a in self.axis_d]
         v._scratch = None
+        v._mt_views = None
         return v
+
+    def _thread_views(self, nblocks: int):
+        """Cached contiguous row-block views for threaded interpolation.
+
+        Views share plan storage, so they stay valid across in-place
+        :meth:`build` refills; each keeps its own ``_scratch``, which
+        preserves the zero-allocation steady state per worker thread.
+        """
+        bounds = tuple(i * self.n // nblocks for i in range(nblocks + 1))
+        if self._mt_views is None or self._mt_views[0] != bounds:
+            views = [
+                self.rows_view(bounds[b], bounds[b + 1]) for b in range(nblocks)
+            ]
+            self._mt_views = (bounds, views)
+        return self._mt_views
 
     # -- kernels -----------------------------------------------------------
 
@@ -346,6 +363,7 @@ class MeshStencilPlan:
     def interpolate_forces(
         self, charges: np.ndarray, phi: np.ndarray,
         rows=None, out=None, chunk: int = _KERNEL_CHUNK,
+        kernels=None,
     ) -> np.ndarray:
         """Separable gather-and-contract force interpolation.
 
@@ -354,7 +372,10 @@ class MeshStencilPlan:
         the ``(n, k, 3)`` displacement/coefficient tensors of the old
         path are never built.  Each atom's contraction runs over its
         own fixed-size stencil row, so chunk and subset boundaries are
-        invisible in the bits.
+        invisible in the bits — which is also what licenses the
+        threaded path below: contiguous row blocks are farmed to a
+        kernel suite's thread pool, and partition-invariance makes the
+        result byte-identical to the serial sweep.
         """
         g = self.gse
         charges = np.asarray(charges, dtype=np.float64)
@@ -362,6 +383,19 @@ class MeshStencilPlan:
         n_rows = self.n if rows is None else len(rows)
         if out is None:
             out = np.empty((n_rows, 3))
+        nthreads = getattr(kernels, "threads", 1)
+        if nthreads > 1 and rows is None and self.n >= 2 * nthreads:
+            bounds, views = self._thread_views(nthreads)
+
+            def _run(b):
+                lo, hi = bounds[b], bounds[b + 1]
+                if hi > lo:
+                    views[b].interpolate_forces(
+                        charges[lo:hi], phi, out=out[lo:hi], chunk=chunk
+                    )
+
+            kernels.map_chunks(_run, nthreads)
+            return out
         kx, ky, kz = self.shape
         w2 = self.w.reshape(self.n, -1)
         buf = self._buffer(chunk)

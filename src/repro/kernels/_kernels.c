@@ -16,6 +16,211 @@
 
 #include <math.h>
 #include <stdint.h>
+#include <string.h>
+
+/* ------------------------------------------------------------------ */
+/* Deterministic thread pool                                          */
+/*                                                                    */
+/* One persistent pool per process: workers are spawned lazily on the */
+/* first multithreaded call and then park on a condition variable     */
+/* between jobs (no per-call pthread_create).  A job is a task        */
+/* function fn(arg, tid, nthreads); the caller participates as tid 0  */
+/* and blocks until every worker has finished, so a kernel call       */
+/* returns only when all of its writes are visible.                   */
+/*                                                                    */
+/* Determinism contract: a task either writes to outputs that are     */
+/* disjoint per (tid, chunk) — in which case the thread count is      */
+/* trivially invisible — or it accumulates into a per-thread int64    */
+/* partial that is reduced with wrapping adds, which are associative  */
+/* and commutative, so the reduction order (and hence the thread      */
+/* count and scheduling) cannot change the result bits.  No kernel    */
+/* in this file performs a cross-thread float reduction.              */
+/*                                                                    */
+/* Compiled with -DRK_THREADS=0 (no usable pthreads) every entry      */
+/* point below still exists but rk_run degenerates to a direct call   */
+/* with nthreads == 1, which is exactly the serial kernel.            */
+/* ------------------------------------------------------------------ */
+
+#ifndef RK_THREADS
+#define RK_THREADS 0
+#endif
+
+#define RK_MAX_THREADS 256
+
+typedef void (*rk_task_fn)(void *arg, int64_t tid, int64_t nthreads);
+
+/* Static block split: [lo, hi) of n items for thread tid of nt. */
+static void rk_chunk(int64_t n, int64_t tid, int64_t nt,
+                     int64_t *lo, int64_t *hi)
+{
+    int64_t q = n / nt, r = n % nt;
+    *lo = tid * q + (tid < r ? tid : r);
+    *hi = *lo + q + (tid < r ? 1 : 0);
+}
+
+#if RK_THREADS
+
+#include <pthread.h>
+
+static pthread_mutex_t rk_job_mu = PTHREAD_MUTEX_INITIALIZER; /* one job at a time */
+static pthread_mutex_t rk_mu = PTHREAD_MUTEX_INITIALIZER;
+static pthread_cond_t rk_cv_work = PTHREAD_COND_INITIALIZER;
+static pthread_cond_t rk_cv_done = PTHREAD_COND_INITIALIZER;
+static int64_t rk_spawned = 0;  /* live workers (caller excluded)    */
+static uint64_t rk_seq = 0;     /* job generation counter            */
+static int64_t rk_pending = 0;  /* workers still inside current job  */
+static rk_task_fn rk_fn = 0;
+static void *rk_arg = 0;
+static int64_t rk_nt = 1;
+
+typedef struct {
+    int64_t tid;
+    uint64_t seen0; /* rk_seq at spawn: jobs at or before it are not ours */
+} rk_worker_init;
+
+static rk_worker_init rk_winit[RK_MAX_THREADS];
+
+static void *rk_worker(void *p)
+{
+    rk_worker_init *init = (rk_worker_init *)p;
+    int64_t tid = init->tid;
+    uint64_t seen = init->seen0;
+    pthread_mutex_lock(&rk_mu);
+    for (;;) {
+        while (rk_seq == seen)
+            pthread_cond_wait(&rk_cv_work, &rk_mu);
+        seen = rk_seq;
+        if (tid < rk_nt) {
+            rk_task_fn fn = rk_fn;
+            void *arg = rk_arg;
+            int64_t nt = rk_nt;
+            pthread_mutex_unlock(&rk_mu);
+            fn(arg, tid, nt);
+            pthread_mutex_lock(&rk_mu);
+            if (--rk_pending == 0)
+                pthread_cond_signal(&rk_cv_done);
+        }
+    }
+    return 0;
+}
+
+/* After fork the worker threads do not exist in the child (only the
+ * forking thread survives), so reset the pool bookkeeping; the child
+ * respawns workers lazily on its next multithreaded call.  The
+ * multiprocess machine backend forks from the main thread between
+ * kernel calls, so no job is in flight at fork time. */
+static void rk_atfork_child(void)
+{
+    pthread_mutex_init(&rk_job_mu, 0);
+    pthread_mutex_init(&rk_mu, 0);
+    pthread_cond_init(&rk_cv_work, 0);
+    pthread_cond_init(&rk_cv_done, 0);
+    rk_spawned = 0;
+    rk_pending = 0;
+    rk_seq = 0;
+    rk_nt = 1;
+}
+
+static pthread_once_t rk_once = PTHREAD_ONCE_INIT;
+
+static void rk_install_atfork(void)
+{
+    pthread_atfork(0, 0, rk_atfork_child);
+}
+
+/* Run fn over nthreads lanes; returns the lane count actually used
+ * (spawn failure degrades gracefully toward serial). */
+static int64_t rk_run(rk_task_fn fn, void *arg, int64_t nthreads)
+{
+    if (nthreads > RK_MAX_THREADS)
+        nthreads = RK_MAX_THREADS;
+    if (nthreads <= 1) {
+        fn(arg, 0, 1);
+        return 1;
+    }
+    pthread_once(&rk_once, rk_install_atfork);
+    pthread_mutex_lock(&rk_job_mu);
+    pthread_mutex_lock(&rk_mu);
+    while (rk_spawned < nthreads - 1) {
+        pthread_t th;
+        pthread_attr_t at;
+        rk_worker_init *init = &rk_winit[rk_spawned + 1];
+        init->tid = rk_spawned + 1;
+        init->seen0 = rk_seq;
+        pthread_attr_init(&at);
+        pthread_attr_setdetachstate(&at, PTHREAD_CREATE_DETACHED);
+        if (pthread_create(&th, &at, rk_worker, init) != 0) {
+            pthread_attr_destroy(&at);
+            break;
+        }
+        pthread_attr_destroy(&at);
+        rk_spawned++;
+    }
+    if (nthreads > rk_spawned + 1)
+        nthreads = rk_spawned + 1;
+    if (nthreads <= 1) {
+        pthread_mutex_unlock(&rk_mu);
+        pthread_mutex_unlock(&rk_job_mu);
+        fn(arg, 0, 1);
+        return 1;
+    }
+    rk_fn = fn;
+    rk_arg = arg;
+    rk_nt = nthreads;
+    rk_pending = nthreads - 1;
+    rk_seq++;
+    pthread_cond_broadcast(&rk_cv_work);
+    pthread_mutex_unlock(&rk_mu);
+    fn(arg, 0, nthreads); /* caller is lane 0 */
+    pthread_mutex_lock(&rk_mu);
+    while (rk_pending > 0)
+        pthread_cond_wait(&rk_cv_done, &rk_mu);
+    pthread_mutex_unlock(&rk_mu);
+    pthread_mutex_unlock(&rk_job_mu);
+    return nthreads;
+}
+
+#else /* !RK_THREADS: serial fallback, same entry points */
+
+static int64_t rk_run(rk_task_fn fn, void *arg, int64_t nthreads)
+{
+    (void)nthreads;
+    fn(arg, 0, 1);
+    return 1;
+}
+
+#endif
+
+/* Probe for the Python layer: 1 when this build can actually fan out. */
+int64_t rk_threads_available(void)
+{
+    return RK_THREADS ? 1 : 0;
+}
+
+/* Fixed-order wrapping-add reduction of per-thread int64 partials
+ * into the shared accumulator, parallel over disjoint element ranges.
+ * Each element's sum runs over lanes t = 0..nparts-1 in order; int64
+ * wrap-add is associative and commutative, so any other shape (tree,
+ * reversed, interleaved) would give identical bits — the property
+ * tests assert this rather than assume it. */
+typedef struct {
+    int64_t *acc;
+    const int64_t *part;
+    int64_t nelem, nparts;
+} rk_red_arg;
+
+static void rk_reduce_task(void *p, int64_t tid, int64_t nt)
+{
+    rk_red_arg *a = (rk_red_arg *)p;
+    int64_t lo, hi;
+    rk_chunk(a->nelem, tid, nt, &lo, &hi);
+    uint64_t *acc = (uint64_t *)a->acc;
+    for (int64_t t = 0; t < a->nparts; t++) {
+        const uint64_t *pt = (const uint64_t *)(a->part + t * a->nelem);
+        for (int64_t e = lo; e < hi; e++)
+            acc[e] += pt[e];
+    }
+}
 
 /* Segment-lookup acceleration grid: maps u in [0, 1) to a starting
  * segment index; a short forward scan lands on the exact segment,
@@ -105,6 +310,59 @@ int64_t rk_pair_filter(int64_t n_cand, const int64_t *ii, const int64_t *jj,
     return m;
 }
 
+/* Threaded cutoff filter.  Phase 1: each lane filters a static chunk
+ * of the candidate range, compacting survivors *in place* at its
+ * chunk's own start offset (the output scratch is sized to the full
+ * candidate count, so lane writes never collide).  Phase 2 (serial):
+ * left-pack the per-lane runs in lane order.  Survivors within a
+ * chunk keep candidate order and chunks are packed in candidate
+ * order, so the output is byte-identical to the serial scan for ANY
+ * chunking — the lane count is invisible. */
+typedef struct {
+    int64_t n;
+    const int64_t *ii, *jj;
+    const double *w, *L;
+    double cutoff2;
+    int64_t *oi, *oj;
+    double *odx, *or2;
+    int64_t *counts, *offs; /* per-lane survivor counts / chunk starts */
+} rk_pf_arg;
+
+static void rk_pair_filter_task(void *p, int64_t tid, int64_t nt)
+{
+    rk_pf_arg *a = (rk_pf_arg *)p;
+    int64_t lo, hi;
+    rk_chunk(a->n, tid, nt, &lo, &hi);
+    a->offs[tid] = lo;
+    a->counts[tid] = rk_pair_filter(
+        hi - lo, a->ii + lo, a->jj + lo, a->w, a->L, a->cutoff2,
+        a->oi + lo, a->oj + lo, a->odx + 3 * lo, a->or2 + lo);
+}
+
+int64_t rk_pair_filter_mt(int64_t n_cand, const int64_t *ii, const int64_t *jj,
+                          const double *w, const double *L, double cutoff2,
+                          int64_t *oi, int64_t *oj, double *odx, double *or2,
+                          int64_t nthreads, int64_t *scratch /* 2*nthreads */)
+{
+    if (nthreads <= 1 || n_cand < nthreads)
+        return rk_pair_filter(n_cand, ii, jj, w, L, cutoff2, oi, oj, odx, or2);
+    rk_pf_arg a = {n_cand, ii, jj, w, L, cutoff2, oi, oj, odx, or2,
+                   scratch, scratch + nthreads};
+    int64_t nt = rk_run(rk_pair_filter_task, &a, nthreads);
+    int64_t m = a.counts[0];
+    for (int64_t t = 1; t < nt; t++) {
+        int64_t src = a.offs[t], c = a.counts[t];
+        if (c && src != m) { /* dst <= src: memmove packs leftward */
+            memmove(oi + m, oi + src, (size_t)c * sizeof *oi);
+            memmove(oj + m, oj + src, (size_t)c * sizeof *oj);
+            memmove(odx + 3 * m, odx + 3 * src, (size_t)(3 * c) * sizeof *odx);
+            memmove(or2 + m, or2 + src, (size_t)c * sizeof *or2);
+        }
+        m += c;
+    }
+    return m;
+}
+
 /* -- fused tabulated pair kernel ------------------------------------- */
 
 /* nonbonded_real_space_tabulated + quantize_round_only in one pass:
@@ -113,28 +371,51 @@ int64_t rk_pair_filter(int64_t n_cand, const int64_t *ii, const int64_t *jj,
  * and quantize the force vector straight to int64 codes.  Per-pair
  * energies are written out for the caller's np.sum (so the reported
  * float energies keep NumPy's pairwise-summation bits). */
-void rk_pair_table_codes(
-    int64_t n, const int64_t *pi, const int64_t *pj,
-    const double *dx, const double *r2,
-    const double *charges, const int64_t *types,
-    const double *amat, const double *bmat, int64_t n_types,
-    double coulomb, double cutoff2, double umax,
-    const double *e_starts, int64_t e_nseg,
-    const double *e_widths,
-    const double *e_cf, const double *e_ce,
-    const double *d_starts, int64_t d_nseg,
-    const double *d_widths,
-    const double *c12f, const double *c6f,
-    const double *c12e, const double *c6e,
-    double q_limit, double q_scale,
-    int64_t *codes, double *e_lj, double *e_coul)
-{
-    int32_t e_grid[RK_GRID];
-    int32_t d_grid[RK_GRID];
-    rk_build_grid(e_starts, e_nseg, e_grid);
-    rk_build_grid(d_starts, d_nseg, d_grid);
+typedef struct {
+    int64_t n;
+    const int64_t *pi, *pj;
+    const double *dx, *r2, *charges;
+    const int64_t *types;
+    const double *amat, *bmat;
+    int64_t n_types;
+    double coulomb, cutoff2, umax;
+    const double *e_starts;
+    int64_t e_nseg;
+    const double *e_widths, *e_cf, *e_ce;
+    const double *d_starts;
+    int64_t d_nseg;
+    const double *d_widths, *c12f, *c6f, *c12e, *c6e;
+    double q_limit, q_scale;
+    int64_t *codes;
+    double *e_lj, *e_coul;
+    const int32_t *e_grid, *d_grid;
+} rk_pc_arg;
 
-    for (int64_t k = 0; k < n; k++) {
+/* Per-pair work over [lo, hi): every output row k is written by
+ * exactly one lane, so any partition of the pair range is bitwise
+ * identical to the serial loop. */
+static void rk_pair_codes_range(const rk_pc_arg *a, int64_t lo, int64_t hi)
+{
+    const int64_t *pi = a->pi, *pj = a->pj;
+    const double *dx = a->dx, *r2 = a->r2;
+    const double *charges = a->charges;
+    const int64_t *types = a->types;
+    const double *amat = a->amat, *bmat = a->bmat;
+    int64_t n_types = a->n_types;
+    double coulomb = a->coulomb, cutoff2 = a->cutoff2, umax = a->umax;
+    const double *e_starts = a->e_starts, *e_widths = a->e_widths;
+    const double *e_cf = a->e_cf, *e_ce = a->e_ce;
+    int64_t e_nseg = a->e_nseg;
+    const double *d_starts = a->d_starts, *d_widths = a->d_widths;
+    const double *c12f = a->c12f, *c6f = a->c6f;
+    const double *c12e = a->c12e, *c6e = a->c6e;
+    int64_t d_nseg = a->d_nseg;
+    double q_limit = a->q_limit, q_scale = a->q_scale;
+    int64_t *codes = a->codes;
+    double *e_lj = a->e_lj, *e_coul = a->e_coul;
+    const int32_t *e_grid = a->e_grid, *d_grid = a->d_grid;
+
+    for (int64_t k = lo; k < hi; k++) {
         int64_t i = pi[k], j = pj[k];
         double qq = charges[i] * charges[j] * coulomb;
         int64_t tij = types[i] * n_types + types[j];
@@ -173,6 +454,109 @@ void rk_pair_table_codes(
         codes[3 * k + 1] = rk_quantize(p * dx[3 * k + 1], q_limit, q_scale);
         codes[3 * k + 2] = rk_quantize(p * dx[3 * k + 2], q_limit, q_scale);
     }
+}
+
+static rk_pc_arg rk_pc_pack(
+    int64_t n, const int64_t *pi, const int64_t *pj,
+    const double *dx, const double *r2,
+    const double *charges, const int64_t *types,
+    const double *amat, const double *bmat, int64_t n_types,
+    double coulomb, double cutoff2, double umax,
+    const double *e_starts, int64_t e_nseg,
+    const double *e_widths,
+    const double *e_cf, const double *e_ce,
+    const double *d_starts, int64_t d_nseg,
+    const double *d_widths,
+    const double *c12f, const double *c6f,
+    const double *c12e, const double *c6e,
+    double q_limit, double q_scale,
+    int64_t *codes, double *e_lj, double *e_coul,
+    const int32_t *e_grid, const int32_t *d_grid)
+{
+    rk_pc_arg a;
+    a.n = n; a.pi = pi; a.pj = pj; a.dx = dx; a.r2 = r2;
+    a.charges = charges; a.types = types;
+    a.amat = amat; a.bmat = bmat; a.n_types = n_types;
+    a.coulomb = coulomb; a.cutoff2 = cutoff2; a.umax = umax;
+    a.e_starts = e_starts; a.e_nseg = e_nseg; a.e_widths = e_widths;
+    a.e_cf = e_cf; a.e_ce = e_ce;
+    a.d_starts = d_starts; a.d_nseg = d_nseg; a.d_widths = d_widths;
+    a.c12f = c12f; a.c6f = c6f; a.c12e = c12e; a.c6e = c6e;
+    a.q_limit = q_limit; a.q_scale = q_scale;
+    a.codes = codes; a.e_lj = e_lj; a.e_coul = e_coul;
+    a.e_grid = e_grid; a.d_grid = d_grid;
+    return a;
+}
+
+void rk_pair_table_codes(
+    int64_t n, const int64_t *pi, const int64_t *pj,
+    const double *dx, const double *r2,
+    const double *charges, const int64_t *types,
+    const double *amat, const double *bmat, int64_t n_types,
+    double coulomb, double cutoff2, double umax,
+    const double *e_starts, int64_t e_nseg,
+    const double *e_widths,
+    const double *e_cf, const double *e_ce,
+    const double *d_starts, int64_t d_nseg,
+    const double *d_widths,
+    const double *c12f, const double *c6f,
+    const double *c12e, const double *c6e,
+    double q_limit, double q_scale,
+    int64_t *codes, double *e_lj, double *e_coul)
+{
+    int32_t e_grid[RK_GRID];
+    int32_t d_grid[RK_GRID];
+    rk_build_grid(e_starts, e_nseg, e_grid);
+    rk_build_grid(d_starts, d_nseg, d_grid);
+    rk_pc_arg a = rk_pc_pack(n, pi, pj, dx, r2, charges, types, amat, bmat,
+                             n_types, coulomb, cutoff2, umax,
+                             e_starts, e_nseg, e_widths, e_cf, e_ce,
+                             d_starts, d_nseg, d_widths, c12f, c6f, c12e, c6e,
+                             q_limit, q_scale, codes, e_lj, e_coul,
+                             e_grid, d_grid);
+    rk_pair_codes_range(&a, 0, n);
+}
+
+static void rk_pair_codes_task(void *p, int64_t tid, int64_t nt)
+{
+    const rk_pc_arg *a = (const rk_pc_arg *)p;
+    int64_t lo, hi;
+    rk_chunk(a->n, tid, nt, &lo, &hi);
+    rk_pair_codes_range(a, lo, hi);
+}
+
+void rk_pair_table_codes_mt(
+    int64_t n, const int64_t *pi, const int64_t *pj,
+    const double *dx, const double *r2,
+    const double *charges, const int64_t *types,
+    const double *amat, const double *bmat, int64_t n_types,
+    double coulomb, double cutoff2, double umax,
+    const double *e_starts, int64_t e_nseg,
+    const double *e_widths,
+    const double *e_cf, const double *e_ce,
+    const double *d_starts, int64_t d_nseg,
+    const double *d_widths,
+    const double *c12f, const double *c6f,
+    const double *c12e, const double *c6e,
+    double q_limit, double q_scale,
+    int64_t *codes, double *e_lj, double *e_coul,
+    int64_t nthreads)
+{
+    int32_t e_grid[RK_GRID];
+    int32_t d_grid[RK_GRID];
+    rk_build_grid(e_starts, e_nseg, e_grid);
+    rk_build_grid(d_starts, d_nseg, d_grid);
+    rk_pc_arg a = rk_pc_pack(n, pi, pj, dx, r2, charges, types, amat, bmat,
+                             n_types, coulomb, cutoff2, umax,
+                             e_starts, e_nseg, e_widths, e_cf, e_ce,
+                             d_starts, d_nseg, d_widths, c12f, c6f, c12e, c6e,
+                             q_limit, q_scale, codes, e_lj, e_coul,
+                             e_grid, d_grid);
+    if (nthreads <= 1 || n < nthreads) {
+        rk_pair_codes_range(&a, 0, n);
+        return;
+    }
+    rk_run(rk_pair_codes_task, &a, nthreads);
 }
 
 /* -- fixed-point deposits --------------------------------------------- */
@@ -220,6 +604,102 @@ void rk_scatter_add(int64_t *acc, const int64_t *keys, const int64_t *codes,
         a[keys[k]] += c[k];
 }
 
+/* -- threaded deposits: per-lane partials + order-free wrap reduce ----- */
+
+/* Each threaded deposit follows the same two-phase shape: every lane
+ * zeroes its own full-size int64 partial and accumulates its chunk of
+ * the input into it, then rk_reduce_task folds the partials into acc
+ * over disjoint element ranges.  Both phases are bitwise order-free:
+ * the accumulate phase because lanes touch disjoint partials, the
+ * reduce because int64 wrapping add is associative and commutative.
+ * nparts for the reduce is the EFFECTIVE lane count returned by the
+ * first rk_run — a degraded spawn must not fold unzeroed partials. */
+
+typedef struct {
+    int64_t *part;          /* (nthreads, nelem) */
+    const int64_t *pi, *pj, *idx, *keys, *codes;
+    int64_t n, nelem;
+} rk_dep_arg;
+
+static void rk_deposit_pairs_task(void *p, int64_t tid, int64_t nt)
+{
+    rk_dep_arg *a = (rk_dep_arg *)p;
+    int64_t lo, hi;
+    rk_chunk(a->n, tid, nt, &lo, &hi);
+    int64_t *mine = a->part + tid * a->nelem;
+    memset(mine, 0, (size_t)a->nelem * sizeof(int64_t));
+    rk_deposit_pairs(mine, a->pi + lo, a->pj + lo, a->codes + 3 * lo,
+                     hi - lo);
+}
+
+void rk_deposit_pairs_mt(int64_t *acc, const int64_t *pi, const int64_t *pj,
+                         const int64_t *codes, int64_t n, int64_t nelem,
+                         int64_t *part, int64_t nthreads)
+{
+    if (nthreads <= 1 || n < nthreads) {
+        rk_deposit_pairs(acc, pi, pj, codes, n);
+        return;
+    }
+    rk_dep_arg a;
+    a.part = part; a.pi = pi; a.pj = pj; a.idx = NULL; a.keys = NULL;
+    a.codes = codes; a.n = n; a.nelem = nelem;
+    int64_t nt = rk_run(rk_deposit_pairs_task, &a, nthreads);
+    rk_red_arg r = {acc, part, nelem, nt};
+    rk_run(rk_reduce_task, &r, nt);
+}
+
+static void rk_scatter_rows_task(void *p, int64_t tid, int64_t nt)
+{
+    rk_dep_arg *a = (rk_dep_arg *)p;
+    int64_t lo, hi;
+    rk_chunk(a->n, tid, nt, &lo, &hi);
+    int64_t *mine = a->part + tid * a->nelem;
+    memset(mine, 0, (size_t)a->nelem * sizeof(int64_t));
+    rk_scatter_rows(mine, a->idx + lo, a->codes + 3 * lo, hi - lo);
+}
+
+void rk_scatter_rows_mt(int64_t *acc, const int64_t *idx,
+                        const int64_t *codes, int64_t n, int64_t nelem,
+                        int64_t *part, int64_t nthreads)
+{
+    if (nthreads <= 1 || n < nthreads) {
+        rk_scatter_rows(acc, idx, codes, n);
+        return;
+    }
+    rk_dep_arg a;
+    a.part = part; a.pi = NULL; a.pj = NULL; a.idx = idx; a.keys = NULL;
+    a.codes = codes; a.n = n; a.nelem = nelem;
+    int64_t nt = rk_run(rk_scatter_rows_task, &a, nthreads);
+    rk_red_arg r = {acc, part, nelem, nt};
+    rk_run(rk_reduce_task, &r, nt);
+}
+
+static void rk_scatter_add_task(void *p, int64_t tid, int64_t nt)
+{
+    rk_dep_arg *a = (rk_dep_arg *)p;
+    int64_t lo, hi;
+    rk_chunk(a->n, tid, nt, &lo, &hi);
+    int64_t *mine = a->part + tid * a->nelem;
+    memset(mine, 0, (size_t)a->nelem * sizeof(int64_t));
+    rk_scatter_add(mine, a->keys + lo, a->codes + lo, hi - lo);
+}
+
+void rk_scatter_add_mt(int64_t *acc, const int64_t *keys,
+                       const int64_t *codes, int64_t n, int64_t nelem,
+                       int64_t *part, int64_t nthreads)
+{
+    if (nthreads <= 1 || n < nthreads) {
+        rk_scatter_add(acc, keys, codes, n);
+        return;
+    }
+    rk_dep_arg a;
+    a.part = part; a.pi = NULL; a.pj = NULL; a.idx = NULL; a.keys = keys;
+    a.codes = codes; a.n = n; a.nelem = nelem;
+    int64_t nt = rk_run(rk_scatter_add_task, &a, nthreads);
+    rk_red_arg r = {acc, part, nelem, nt};
+    rk_run(rk_reduce_task, &r, nt);
+}
+
 /* -- mesh charge spreading -------------------------------------------- */
 
 /* MeshStencilPlan.spread_codes: codes are rint(w * qc) per stencil
@@ -249,6 +729,66 @@ void rk_mesh_spread_i64(int64_t *acc, const int64_t *flat, const double *w2,
         for (int64_t m = 0; m < k; m++)
             a[fr[m]] += (uint64_t)(int64_t)rint(wr[m] * q);
     }
+}
+
+typedef struct {
+    int64_t *part;          /* (nthreads, npts) */
+    const void *flat;
+    const double *w2, *qc;
+    int64_t n, k, npts;
+    int is64;
+} rk_ms_arg;
+
+static void rk_mesh_spread_task(void *p, int64_t tid, int64_t nt)
+{
+    rk_ms_arg *a = (rk_ms_arg *)p;
+    int64_t lo, hi;
+    rk_chunk(a->n, tid, nt, &lo, &hi);
+    int64_t *mine = a->part + tid * a->npts;
+    memset(mine, 0, (size_t)a->npts * sizeof(int64_t));
+    if (a->is64)
+        rk_mesh_spread_i64(mine, (const int64_t *)a->flat + lo * a->k,
+                           a->w2 + lo * a->k, a->qc + lo, hi - lo, a->k);
+    else
+        rk_mesh_spread_i32(mine, (const int32_t *)a->flat + lo * a->k,
+                           a->w2 + lo * a->k, a->qc + lo, hi - lo, a->k);
+}
+
+static void rk_mesh_spread_mt(int64_t *acc, const void *flat,
+                              const double *w2, const double *qc,
+                              int64_t n, int64_t k, int64_t npts,
+                              int64_t *part, int64_t nthreads, int is64)
+{
+    rk_ms_arg a;
+    a.part = part; a.flat = flat; a.w2 = w2; a.qc = qc;
+    a.n = n; a.k = k; a.npts = npts; a.is64 = is64;
+    int64_t nt = rk_run(rk_mesh_spread_task, &a, nthreads);
+    rk_red_arg r = {acc, part, npts, nt};
+    rk_run(rk_reduce_task, &r, nt);
+}
+
+void rk_mesh_spread_i32_mt(int64_t *acc, const int32_t *flat,
+                           const double *w2, const double *qc,
+                           int64_t n, int64_t k, int64_t npts,
+                           int64_t *part, int64_t nthreads)
+{
+    if (nthreads <= 1 || n < nthreads) {
+        rk_mesh_spread_i32(acc, flat, w2, qc, n, k);
+        return;
+    }
+    rk_mesh_spread_mt(acc, flat, w2, qc, n, k, npts, part, nthreads, 0);
+}
+
+void rk_mesh_spread_i64_mt(int64_t *acc, const int64_t *flat,
+                           const double *w2, const double *qc,
+                           int64_t n, int64_t k, int64_t npts,
+                           int64_t *part, int64_t nthreads)
+{
+    if (nthreads <= 1 || n < nthreads) {
+        rk_mesh_spread_i64(acc, flat, w2, qc, n, k);
+        return;
+    }
+    rk_mesh_spread_mt(acc, flat, w2, qc, n, k, npts, part, nthreads, 1);
 }
 
 /* -- SHAKE / RATTLE ---------------------------------------------------- */
@@ -414,6 +954,94 @@ void rk_rattle_batch(int64_t nrep, int64_t natoms, double *vel,
                   d2_all);
 }
 
+/* Threaded constraint batches: replicas are independent (disjoint
+ * pos/vel rows, read-only shared topology), so lanes chunk the replica
+ * axis and run the solo routine with per-lane scratch.  Per-replica
+ * convergence exits live inside rk_shake/rk_rattle and are untouched. */
+
+typedef struct {
+    int64_t nrep, natoms, ncon, nbatch, iters;
+    double tol;
+    double *pos, *vel;
+    const double *ref, *cpos, *d2, *inv, *L;
+    const int64_t *ci, *cj, *order, *starts;
+    double *scr_a;          /* (nthreads, 3*ncon): dref / dx_all */
+    double *scr_b;          /* (nthreads, ncon): d2_all (rattle only) */
+} rk_cb_arg;
+
+static void rk_shake_batch_task(void *p, int64_t tid, int64_t nt)
+{
+    rk_cb_arg *a = (rk_cb_arg *)p;
+    int64_t lo, hi;
+    rk_chunk(a->nrep, tid, nt, &lo, &hi);
+    double *dref = a->scr_a + tid * 3 * a->ncon;
+    for (int64_t r = lo; r < hi; r++)
+        rk_shake(a->pos + 3 * a->natoms * r, a->ref + 3 * a->natoms * r,
+                 a->ci, a->cj, a->d2, a->inv, a->L, a->ncon, a->order,
+                 a->starts, a->nbatch, a->iters, a->tol, dref);
+}
+
+void rk_shake_batch_mt(int64_t nrep, int64_t natoms, double *pos,
+                       const double *ref, const int64_t *ci,
+                       const int64_t *cj, const double *d2,
+                       const double *inv, const double *L, int64_t ncon,
+                       const int64_t *order, const int64_t *starts,
+                       int64_t nbatch, int64_t iters, double tol,
+                       double *scratch, int64_t nthreads)
+{
+    if (nthreads <= 1 || nrep <= 1) {
+        rk_shake_batch(nrep, natoms, pos, ref, ci, cj, d2, inv, L, ncon,
+                       order, starts, nbatch, iters, tol, scratch);
+        return;
+    }
+    rk_cb_arg a;
+    a.nrep = nrep; a.natoms = natoms; a.ncon = ncon; a.nbatch = nbatch;
+    a.iters = iters; a.tol = tol;
+    a.pos = pos; a.vel = NULL; a.ref = ref; a.cpos = NULL;
+    a.d2 = d2; a.inv = inv; a.L = L;
+    a.ci = ci; a.cj = cj; a.order = order; a.starts = starts;
+    a.scr_a = scratch; a.scr_b = NULL;
+    rk_run(rk_shake_batch_task, &a, nthreads);
+}
+
+static void rk_rattle_batch_task(void *p, int64_t tid, int64_t nt)
+{
+    rk_cb_arg *a = (rk_cb_arg *)p;
+    int64_t lo, hi;
+    rk_chunk(a->nrep, tid, nt, &lo, &hi);
+    double *dx_all = a->scr_a + tid * 3 * a->ncon;
+    double *d2_all = a->scr_b + tid * a->ncon;
+    for (int64_t r = lo; r < hi; r++)
+        rk_rattle(a->vel + 3 * a->natoms * r, a->cpos + 3 * a->natoms * r,
+                  a->ci, a->cj, a->inv, a->L, a->ncon, a->order, a->starts,
+                  a->nbatch, a->iters, a->tol, dx_all, d2_all);
+}
+
+void rk_rattle_batch_mt(int64_t nrep, int64_t natoms, double *vel,
+                        const double *pos, const int64_t *ci,
+                        const int64_t *cj, const double *inv,
+                        const double *L, int64_t ncon,
+                        const int64_t *order, const int64_t *starts,
+                        int64_t nbatch, int64_t iters, double tol,
+                        double *dx_scratch, double *d2_scratch,
+                        int64_t nthreads)
+{
+    if (nthreads <= 1 || nrep <= 1) {
+        rk_rattle_batch(nrep, natoms, vel, pos, ci, cj, inv, L, ncon,
+                        order, starts, nbatch, iters, tol, dx_scratch,
+                        d2_scratch);
+        return;
+    }
+    rk_cb_arg a;
+    a.nrep = nrep; a.natoms = natoms; a.ncon = ncon; a.nbatch = nbatch;
+    a.iters = iters; a.tol = tol;
+    a.pos = NULL; a.vel = vel; a.ref = NULL; a.cpos = pos;
+    a.d2 = NULL; a.inv = inv; a.L = L;
+    a.ci = ci; a.cj = cj; a.order = order; a.starts = starts;
+    a.scr_a = dx_scratch; a.scr_b = d2_scratch;
+    rk_run(rk_rattle_batch_task, &a, nthreads);
+}
+
 /* -- mesh stencil plan -------------------------------------------------- */
 
 /* One fused pass over the (kx, ky, kz) stencil cube of each atom:
@@ -426,15 +1054,30 @@ void rk_rattle_batch(int64_t nrep, int64_t natoms, double *vel,
  * NumPy's multiply-by-bool mask (w * 0.0 == +0.0) bit for bit.  Index
  * math runs through uint32 so any wrap matches NumPy int32 instead of
  * tripping signed-overflow UB. */
-void rk_mesh_plan(int64_t n, int64_t kx, int64_t ky, int64_t kz,
-                  const double *wxn, const double *wy, const double *wz,
-                  const double *dx, const double *dy, const double *dz,
-                  const int32_t *ix, const int32_t *iy, const int32_t *iz,
-                  int64_t my, int64_t mz, double c2,
-                  double *w, int32_t *flat)
+typedef struct {
+    int64_t n, kx, ky, kz, my, mz;
+    const double *wxn, *wy, *wz, *dx, *dy, *dz;
+    const int32_t *ix, *iy, *iz;
+    double c2;
+    double *w;
+    int32_t *flat;
+} rk_mp_arg;
+
+/* Atom rows [lo, hi): each atom's stencil cube is written by exactly
+ * one lane, so any partition of the atom range matches the serial
+ * loop bit for bit. */
+static void rk_mesh_plan_range(const rk_mp_arg *a, int64_t lo, int64_t hi)
 {
+    int64_t kx = a->kx, ky = a->ky, kz = a->kz;
+    const double *wxn = a->wxn, *wy = a->wy, *wz = a->wz;
+    const double *dx = a->dx, *dy = a->dy, *dz = a->dz;
+    const int32_t *ix = a->ix, *iy = a->iy, *iz = a->iz;
+    int64_t my = a->my, mz = a->mz;
+    double c2 = a->c2;
+    double *w = a->w;
+    int32_t *flat = a->flat;
     int64_t cube = kx * ky * kz;
-    for (int64_t i = 0; i < n; i++) {
+    for (int64_t i = lo; i < hi; i++) {
         const double *wxi = wxn + i * kx;
         const double *wyi = wy + i * ky;
         const double *wzi = wz + i * kz;
@@ -462,4 +1105,55 @@ void rk_mesh_plan(int64_t n, int64_t kx, int64_t ky, int64_t kz,
             }
         }
     }
+}
+
+static rk_mp_arg rk_mp_pack(int64_t n, int64_t kx, int64_t ky, int64_t kz,
+                            const double *wxn, const double *wy,
+                            const double *wz, const double *dx,
+                            const double *dy, const double *dz,
+                            const int32_t *ix, const int32_t *iy,
+                            const int32_t *iz, int64_t my, int64_t mz,
+                            double c2, double *w, int32_t *flat)
+{
+    rk_mp_arg a;
+    a.n = n; a.kx = kx; a.ky = ky; a.kz = kz; a.my = my; a.mz = mz;
+    a.wxn = wxn; a.wy = wy; a.wz = wz; a.dx = dx; a.dy = dy; a.dz = dz;
+    a.ix = ix; a.iy = iy; a.iz = iz; a.c2 = c2; a.w = w; a.flat = flat;
+    return a;
+}
+
+void rk_mesh_plan(int64_t n, int64_t kx, int64_t ky, int64_t kz,
+                  const double *wxn, const double *wy, const double *wz,
+                  const double *dx, const double *dy, const double *dz,
+                  const int32_t *ix, const int32_t *iy, const int32_t *iz,
+                  int64_t my, int64_t mz, double c2,
+                  double *w, int32_t *flat)
+{
+    rk_mp_arg a = rk_mp_pack(n, kx, ky, kz, wxn, wy, wz, dx, dy, dz,
+                             ix, iy, iz, my, mz, c2, w, flat);
+    rk_mesh_plan_range(&a, 0, n);
+}
+
+static void rk_mesh_plan_task(void *p, int64_t tid, int64_t nt)
+{
+    const rk_mp_arg *a = (const rk_mp_arg *)p;
+    int64_t lo, hi;
+    rk_chunk(a->n, tid, nt, &lo, &hi);
+    rk_mesh_plan_range(a, lo, hi);
+}
+
+void rk_mesh_plan_mt(int64_t n, int64_t kx, int64_t ky, int64_t kz,
+                     const double *wxn, const double *wy, const double *wz,
+                     const double *dx, const double *dy, const double *dz,
+                     const int32_t *ix, const int32_t *iy,
+                     const int32_t *iz, int64_t my, int64_t mz, double c2,
+                     double *w, int32_t *flat, int64_t nthreads)
+{
+    rk_mp_arg a = rk_mp_pack(n, kx, ky, kz, wxn, wy, wz, dx, dy, dz,
+                             ix, iy, iz, my, mz, c2, w, flat);
+    if (nthreads <= 1 || n < nthreads) {
+        rk_mesh_plan_range(&a, 0, n);
+        return;
+    }
+    rk_run(rk_mesh_plan_task, &a, nthreads);
 }

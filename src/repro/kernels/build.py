@@ -24,6 +24,7 @@ import hashlib
 import os
 import subprocess
 import tempfile
+import warnings
 from pathlib import Path
 
 __all__ = ["KernelBuildError", "build", "load"]
@@ -33,20 +34,48 @@ _SRC = Path(__file__).resolve().parent / "_kernels.c"
 #: Optimized but strictly IEEE-ordered; see module docstring.
 CFLAGS = ("-O3", "-fPIC", "-shared", "-ffp-contract=off", "-fno-fast-math")
 
+#: Build variants tried in order per compiler: threaded first, then a
+#: serial fallback for pthread-less hosts.  Both compile the same
+#: source; ``RK_THREADS=0`` turns ``rk_run`` into a direct call so every
+#: ``*_mt`` symbol still exists (``_declare`` touches them all).
+_VARIANTS = (
+    ("-pthread", "-DRK_THREADS=1"),
+    ("-DRK_THREADS=0",),
+)
+
 _COMPILERS = ("cc", "gcc", "clang")
 
 _lib = None
 _lib_error: Exception | None = None
+_compiler_idents: dict[str, str | None] = {}
+_warned_no_pthread = False
 
 
 class KernelBuildError(RuntimeError):
     """The compiled tier is unavailable on this host."""
 
 
-def _source_key() -> str:
+def _compiler_ident(cc: str) -> str | None:
+    """First line of ``cc --version``, or None when the compiler is
+    missing.  Part of the cache key: a host switching cc -> clang (or
+    upgrading gcc) must not reuse a stale ``.so``."""
+    if cc not in _compiler_idents:
+        try:
+            proc = subprocess.run(
+                [cc, "--version"], capture_output=True, text=True, timeout=30
+            )
+            ident = proc.stdout.splitlines()[0] if proc.returncode == 0 else None
+        except (OSError, subprocess.TimeoutExpired, IndexError):
+            ident = None
+        _compiler_idents[cc] = ident
+    return _compiler_idents[cc]
+
+
+def _source_key(variant: tuple[str, ...], ident: str) -> str:
     h = hashlib.sha256()
     h.update(_SRC.read_bytes())
-    h.update(" ".join(CFLAGS).encode())
+    h.update(" ".join(CFLAGS + variant).encode())
+    h.update(ident.encode())
     return h.hexdigest()[:16]
 
 
@@ -73,30 +102,52 @@ def _build_dir() -> Path:
 def build() -> Path:
     """Compile (if needed) and return the path to the shared object.
 
-    Raises :class:`KernelBuildError` when no working C compiler is
-    found; callers fall back to the NumPy tier.
+    Per compiler the threaded variant (``-pthread -DRK_THREADS=1``) is
+    tried first; if the probe fails the serial ``-DRK_THREADS=0`` build
+    is used with a one-time warning (``kernel_threads > 1`` then runs
+    single-threaded, mirroring the NumPy-tier fallback path).  Raises
+    :class:`KernelBuildError` when no working C compiler is found.
     """
+    global _warned_no_pthread
     if not _SRC.exists():
         raise KernelBuildError(f"kernel source missing: {_SRC}")
-    out = _build_dir() / f"_kernels-{_source_key()}.so"
-    if out.exists():
-        return out
+    bdir = _build_dir()
     errors = []
     for cc in _COMPILERS:
-        tmp = out.with_name(out.name + f".tmp{os.getpid()}")
-        cmd = [cc, *CFLAGS, str(_SRC), "-o", str(tmp), "-lm"]
-        try:
-            proc = subprocess.run(
-                cmd, capture_output=True, text=True, timeout=120
-            )
-        except (OSError, subprocess.TimeoutExpired) as exc:
-            errors.append(f"{cc}: {exc}")
+        ident = _compiler_ident(cc)
+        if ident is None:
+            errors.append(f"{cc}: not found")
             continue
-        if proc.returncode == 0 and tmp.exists():
-            os.replace(tmp, out)  # atomic: concurrent builders race safely
-            return out
-        errors.append(f"{cc}: rc={proc.returncode} {proc.stderr.strip()[:400]}")
-        tmp.unlink(missing_ok=True)
+        for variant in _VARIANTS:
+            out = bdir / f"_kernels-{_source_key(variant, ident)}.so"
+            if out.exists():
+                return out
+            tmp = out.with_name(out.name + f".tmp{os.getpid()}")
+            cmd = [cc, *CFLAGS, *variant, str(_SRC), "-o", str(tmp), "-lm"]
+            try:
+                proc = subprocess.run(
+                    cmd, capture_output=True, text=True, timeout=120
+                )
+            except (OSError, subprocess.TimeoutExpired) as exc:
+                errors.append(f"{cc}: {exc}")
+                continue
+            if proc.returncode == 0 and tmp.exists():
+                os.replace(tmp, out)  # atomic: concurrent builders race
+                return out
+            errors.append(
+                f"{cc} {' '.join(variant)}: rc={proc.returncode} "
+                f"{proc.stderr.strip()[:400]}"
+            )
+            tmp.unlink(missing_ok=True)
+            if variant is _VARIANTS[0] and not _warned_no_pthread:
+                _warned_no_pthread = True
+                warnings.warn(
+                    "pthread probe failed for the compiled kernel tier; "
+                    "building without thread support "
+                    "(kernel_threads > 1 will run single-threaded)",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
     raise KernelBuildError(
         "no working C compiler for the compiled kernel tier: "
         + "; ".join(errors)
@@ -143,6 +194,41 @@ def _declare(lib: ctypes.CDLL) -> None:
     lib.rk_rattle_batch.restype = None
     lib.rk_rattle_batch.argtypes = (
         [i64, i64, p, p, p, p, p, p, i64, p, p, i64, i64, f64, p, p]
+    )
+
+    # Threaded entry points (present in every build; the RK_THREADS=0
+    # variant routes them through a direct serial call).
+    lib.rk_threads_available.restype = i64
+    lib.rk_threads_available.argtypes = []
+    lib.rk_pair_filter_mt.restype = i64
+    lib.rk_pair_filter_mt.argtypes = (
+        [i64, p, p, p, p, f64, p, p, p, p, i64, p]
+    )
+    lib.rk_pair_table_codes_mt.restype = None
+    lib.rk_pair_table_codes_mt.argtypes = (
+        list(lib.rk_pair_table_codes.argtypes) + [i64]
+    )
+    lib.rk_deposit_pairs_mt.restype = None
+    lib.rk_deposit_pairs_mt.argtypes = [p, p, p, p, i64, i64, p, i64]
+    lib.rk_scatter_rows_mt.restype = None
+    lib.rk_scatter_rows_mt.argtypes = [p, p, p, i64, i64, p, i64]
+    lib.rk_scatter_add_mt.restype = None
+    lib.rk_scatter_add_mt.argtypes = [p, p, p, i64, i64, p, i64]
+    lib.rk_mesh_spread_i32_mt.restype = None
+    lib.rk_mesh_spread_i32_mt.argtypes = [p, p, p, p, i64, i64, i64, p, i64]
+    lib.rk_mesh_spread_i64_mt.restype = None
+    lib.rk_mesh_spread_i64_mt.argtypes = [p, p, p, p, i64, i64, i64, p, i64]
+    lib.rk_mesh_plan_mt.restype = None
+    lib.rk_mesh_plan_mt.argtypes = (
+        [i64, i64, i64, i64] + [p] * 9 + [i64, i64, f64, p, p, i64]
+    )
+    lib.rk_shake_batch_mt.restype = None
+    lib.rk_shake_batch_mt.argtypes = (
+        [i64, i64, p, p, p, p, p, p, p, i64, p, p, i64, i64, f64, p, i64]
+    )
+    lib.rk_rattle_batch_mt.restype = None
+    lib.rk_rattle_batch_mt.argtypes = (
+        [i64, i64, p, p, p, p, p, p, i64, p, p, i64, i64, f64, p, p, i64]
     )
 
 

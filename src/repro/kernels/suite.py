@@ -18,11 +18,20 @@ reproducibility gate in the repo (backend equivalence, fault-recovery
 replay, checkpoint round-trips) while removing the Python interpreter
 from the per-pair loops.
 
-:func:`get_suite` resolves the tier knob: explicit argument first, then
-the ``REPRO_KERNEL_TIER`` environment variable, then ``"numpy"``.
-Requesting ``"compiled"`` on a host without a C compiler degrades to
-the NumPy tier with a one-time warning — the package never hard-fails
-for lack of a toolchain.
+:func:`resolve_config` resolves the two knobs — tier and thread count —
+from explicit arguments first, then the ``REPRO_KERNEL_TIER`` /
+``REPRO_KERNEL_THREADS`` environment variables, then the defaults
+(``"numpy"``, 1).  Requesting ``"compiled"`` on a host without a C
+compiler degrades to the NumPy tier with a one-time warning — the
+package never hard-fails for lack of a toolchain; likewise
+``threads > 1`` on a pthread-less build degrades to single-threaded.
+
+Thread counts are **bitwise-invisible**: the compiled tier parallelizes
+via per-thread int64 partials folded with wrapping adds (associative
+and commutative, so the reduction order cannot change the result) and
+via chunked pure writes to disjoint output rows.  Every thread count
+produces the same bytes as ``threads=1``, which produces the same bytes
+as the NumPy tier.
 """
 
 from __future__ import annotations
@@ -37,14 +46,56 @@ from repro.kernels.build import KernelBuildError, load
 
 __all__ = [
     "KERNEL_TIERS",
+    "KernelConfig",
     "PairTableSpec",
     "NumpyKernels",
     "CompiledKernels",
     "make_pair_spec",
     "get_suite",
+    "resolve_config",
 ]
 
 KERNEL_TIERS = ("numpy", "compiled")
+
+#: Hard ceiling on kernel_threads (the C pool caps at 256 lanes; 128
+#: leaves headroom and catches typos like REPRO_KERNEL_THREADS=1000).
+_MAX_THREADS = 128
+
+#: Below this many work items the per-call pool handoff outweighs the
+#: parallel speedup; the mt entry points fall back to the serial loop
+#: (a pure dispatch choice — both paths produce identical bytes).
+_MT_MIN_PAIRS = 4096
+
+
+@dataclass(frozen=True)
+class KernelConfig:
+    """Resolved kernel selection: tier name plus thread count."""
+
+    tier: str
+    threads: int
+
+
+def resolve_config(tier: str | None = None, threads: int | None = None) -> KernelConfig:
+    """Resolve tier/threads knobs: argument, then env var, then default.
+
+    This is the single place the ``REPRO_KERNEL_TIER`` and
+    ``REPRO_KERNEL_THREADS`` environment variables are consulted;
+    machine, ensemble, and CLI all funnel through it.
+    """
+    if tier is None:
+        tier = os.environ.get("REPRO_KERNEL_TIER", "numpy")
+    if tier not in KERNEL_TIERS:
+        raise ValueError(f"unknown kernel_tier {tier!r}; expected one of {KERNEL_TIERS}")
+    if threads is None:
+        raw = os.environ.get("REPRO_KERNEL_THREADS", "1")
+        try:
+            threads = int(raw)
+        except ValueError:
+            raise ValueError(f"REPRO_KERNEL_THREADS={raw!r} is not an integer") from None
+    threads = int(threads)
+    if not 1 <= threads <= _MAX_THREADS:
+        raise ValueError(f"kernel_threads must be in [1, {_MAX_THREADS}], got {threads}")
+    return KernelConfig(tier=tier, threads=threads)
 
 
 def _ptr(a: np.ndarray) -> int:
@@ -161,6 +212,25 @@ class NumpyKernels:
     """
 
     tier = "numpy"
+    #: Worker-lane count.  The NumPy tier is always single-threaded
+    #: (BLAS/NumPy manage their own internals); the knob only changes
+    #: dispatch on the compiled tier and is bitwise-invisible there.
+    threads = 1
+
+    def __init__(self):
+        #: Single-threaded suite with identical numerics; self here.
+        #: Threaded code hands ``serial`` to Python worker threads so C
+        #: kernels are never re-entered through the process-wide pool.
+        self.serial = self
+
+    def map_chunks(self, fn, nchunks):
+        """Run ``fn(0) .. fn(nchunks - 1)``, possibly concurrently.
+
+        The chunks must write disjoint outputs; ordering is therefore
+        bitwise-irrelevant.  The reference tier runs them serially.
+        """
+        for b in range(nchunks):
+            fn(b)
 
     # -- neighbor filter -------------------------------------------------
 
@@ -312,10 +382,72 @@ class CompiledKernels(NumpyKernels):
 
     tier = "compiled"
 
-    def __init__(self, lib):
+    def __init__(self, lib, threads=1, serial=None):
         self._lib = lib
+        self.threads = int(threads)
+        #: Single-threaded suite over the same lib; Python worker
+        #: threads dispatch through it so the C pool is never
+        #: re-entered from inside a threaded region.
+        self.serial = serial if serial is not None else self
+        self._pool = None
+        # Grow-only per-thread scratch (zero-allocation steady state).
+        self._filter_counts = None
+        self._partial = None
+        self._con_dref = None
+        self._con_dx = None
+        self._con_d2 = None
+
+    # -- threading helpers ------------------------------------------------
+
+    def map_chunks(self, fn, nchunks):
+        """Run disjoint-output chunks on a persistent Python pool.
+
+        Used for primitives whose parallel unit is itself a Python-level
+        call (per-replica FFTs, mesh-row gather views).  ctypes and
+        pocketfft release the GIL, so the chunks genuinely overlap.
+        """
+        if self.threads <= 1 or nchunks <= 1:
+            for b in range(nchunks):
+                fn(b)
+            return
+        if self._pool is None:
+            from concurrent.futures import ThreadPoolExecutor
+
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.threads, thread_name_prefix="repro-kernels"
+            )
+        list(self._pool.map(fn, range(nchunks)))
+
+    def _filter_scratch(self):
+        if self._filter_counts is None:
+            self._filter_counts = np.empty(2 * self.threads, dtype=np.int64)
+        return self._filter_counts
+
+    def _partials(self, nelem):
+        """(threads, nelem) int64 per-lane accumulator partials."""
+        if self._partial is None or self._partial.shape[1] < nelem:
+            self._partial = np.empty((self.threads, nelem), dtype=np.int64)
+        return self._partial
+
+    def _constraint_scratch(self, ncon):
+        """Per-lane (dref, dx_all, d2_all) scratch for batched SHAKE/RATTLE."""
+        if self._con_dref is None or self._con_dref.shape[1] < 3 * ncon:
+            self._con_dref = np.empty((self.threads, 3 * ncon))
+            self._con_dx = np.empty((self.threads, 3 * ncon))
+            self._con_d2 = np.empty((self.threads, ncon))
+        return self._con_dref, self._con_dx, self._con_d2
+
+    # -- kernels -----------------------------------------------------------
 
     def pair_filter(self, wrapped, ii, jj, lengths, cutoff2, oi, oj, odx, or2):
+        if self.threads > 1 and len(ii) >= _MT_MIN_PAIRS:
+            return int(
+                self._lib.rk_pair_filter_mt(
+                    len(ii), _ptr(ii), _ptr(jj), _ptr(wrapped), _ptr(lengths),
+                    float(cutoff2), _ptr(oi), _ptr(oj), _ptr(odx), _ptr(or2),
+                    self.threads, _ptr(self._filter_scratch()),
+                )
+            )
         return int(
             self._lib.rk_pair_filter(
                 len(ii), _ptr(ii), _ptr(jj), _ptr(wrapped), _ptr(lengths),
@@ -324,7 +456,7 @@ class CompiledKernels(NumpyKernels):
         )
 
     def pair_table_codes(self, spec: PairTableSpec, i, j, dx, r2, codes, e_lj, e_coul):
-        self._lib.rk_pair_table_codes(
+        args = (
             len(i), _ptr(i), _ptr(j), _ptr(dx), _ptr(r2),
             _ptr(spec.charges), _ptr(spec.types),
             _ptr(spec.amat), _ptr(spec.bmat), spec.n_types,
@@ -336,36 +468,73 @@ class CompiledKernels(NumpyKernels):
             spec.q_limit, spec.q_scale,
             _ptr(codes), _ptr(e_lj), _ptr(e_coul),
         )
+        if self.threads > 1 and len(i) >= _MT_MIN_PAIRS:
+            self._lib.rk_pair_table_codes_mt(*args, self.threads)
+        else:
+            self._lib.rk_pair_table_codes(*args)
 
     def deposit_pairs(self, raw, i, j, codes):
         i = _i64(i)
         j = _i64(j)
         codes = _i64(codes)
+        nelem = raw.size
+        # Worth threading only when accumulate work dominates the
+        # zero+reduce cost of the per-lane partials.
+        if self.threads > 1 and 6 * len(i) >= 4 * nelem:
+            self._lib.rk_deposit_pairs_mt(
+                _ptr(raw), _ptr(i), _ptr(j), _ptr(codes), len(i), nelem,
+                _ptr(self._partials(nelem)), self.threads,
+            )
+            return
         self._lib.rk_deposit_pairs(_ptr(raw), _ptr(i), _ptr(j), _ptr(codes), len(i))
 
     def scatter_rows(self, raw, idx, codes):
         idx = _i64(idx)
         codes = _i64(codes)
+        nelem = raw.size
+        if self.threads > 1 and 3 * len(idx) >= 4 * nelem:
+            self._lib.rk_scatter_rows_mt(
+                _ptr(raw), _ptr(idx), _ptr(codes), len(idx), nelem,
+                _ptr(self._partials(nelem)), self.threads,
+            )
+            return
         self._lib.rk_scatter_rows(_ptr(raw), _ptr(idx), _ptr(codes), len(idx))
 
     def scatter_add(self, acc, keys, codes):
         keys = _i64(keys)
         codes = _i64(codes)
+        nelem = acc.size
+        if self.threads > 1 and len(keys) >= 4 * nelem:
+            self._lib.rk_scatter_add_mt(
+                _ptr(acc), _ptr(keys), _ptr(codes), len(keys), nelem,
+                _ptr(self._partials(nelem)), self.threads,
+            )
+            return
         self._lib.rk_scatter_add(_ptr(acc), _ptr(keys), _ptr(codes), len(keys))
 
     def mesh_spread(self, acc, flat, w2, qc):
-        fn = (
-            self._lib.rk_mesh_spread_i32
-            if flat.dtype == np.int32
-            else self._lib.rk_mesh_spread_i64
-        )
-        fn(_ptr(acc), _ptr(flat), _ptr(w2), _ptr(qc), flat.shape[0], flat.shape[1])
+        is32 = flat.dtype == np.int32
+        n, k = flat.shape
+        npts = acc.size
+        if self.threads > 1 and n * k >= 4 * npts:
+            fn = (
+                self._lib.rk_mesh_spread_i32_mt
+                if is32
+                else self._lib.rk_mesh_spread_i64_mt
+            )
+            fn(
+                _ptr(acc), _ptr(flat), _ptr(w2), _ptr(qc), n, k, npts,
+                _ptr(self._partials(npts)), self.threads,
+            )
+            return
+        fn = self._lib.rk_mesh_spread_i32 if is32 else self._lib.rk_mesh_spread_i64
+        fn(_ptr(acc), _ptr(flat), _ptr(w2), _ptr(qc), n, k)
 
     def mesh_plan_block(
         self, wxn, wy, wz, dx, dy, dz, ix, iy, iz, my, mz, c2, w, flat
     ):
         n, kx = wxn.shape
-        self._lib.rk_mesh_plan(
+        args = (
             n, kx, wy.shape[1], wz.shape[1],
             _ptr(wxn), _ptr(wy), _ptr(wz),
             _ptr(dx), _ptr(dy), _ptr(dz),
@@ -373,6 +542,10 @@ class CompiledKernels(NumpyKernels):
             int(my), int(mz), float(c2),
             _ptr(w), _ptr(flat),
         )
+        if self.threads > 1 and n >= 2 * self.threads:
+            self._lib.rk_mesh_plan_mt(*args, self.threads)
+        else:
+            self._lib.rk_mesh_plan(*args)
 
     def shake(self, solver, positions, reference, tol):
         pre = solver._compiled_arrays()
@@ -407,6 +580,17 @@ class CompiledKernels(NumpyKernels):
                 self, solver, positions, reference, tol, nrep, natoms
             )
         ci, cj, d2, inv, lengths, order, starts, dref, dx_all, d2_all = pre
+        if self.threads > 1 and nrep > 1:
+            con_dref, _, _ = self._constraint_scratch(len(ci))
+            self._lib.rk_shake_batch_mt(
+                int(nrep), int(natoms),
+                _ptr(positions), _ptr(np.ascontiguousarray(reference)),
+                _ptr(ci), _ptr(cj), _ptr(d2), _ptr(inv), _ptr(lengths),
+                len(ci), _ptr(order), _ptr(starts), len(starts) - 1,
+                solver.iterations, float(tol), _ptr(con_dref),
+                min(self.threads, int(nrep)),
+            )
+            return positions
         self._lib.rk_shake_batch(
             int(nrep), int(natoms),
             _ptr(positions), _ptr(np.ascontiguousarray(reference)),
@@ -423,6 +607,17 @@ class CompiledKernels(NumpyKernels):
                 self, solver, velocities, positions, tol, nrep, natoms
             )
         ci, cj, d2, inv, lengths, order, starts, dref, dx_all, d2_all = pre
+        if self.threads > 1 and nrep > 1:
+            _, con_dx, con_d2 = self._constraint_scratch(len(ci))
+            self._lib.rk_rattle_batch_mt(
+                int(nrep), int(natoms),
+                _ptr(velocities), _ptr(np.ascontiguousarray(positions)),
+                _ptr(ci), _ptr(cj), _ptr(inv), _ptr(lengths),
+                len(ci), _ptr(order), _ptr(starts), len(starts) - 1,
+                solver.iterations, float(tol), _ptr(con_dx), _ptr(con_d2),
+                min(self.threads, int(nrep)),
+            )
+            return velocities
         self._lib.rk_rattle_batch(
             int(nrep), int(natoms),
             _ptr(velocities), _ptr(np.ascontiguousarray(positions)),
@@ -434,35 +629,76 @@ class CompiledKernels(NumpyKernels):
 
 
 _NUMPY_SUITE = NumpyKernels()
-_COMPILED_SUITE: CompiledKernels | None = None
+#: Compiled suites keyed by thread count.  The threads=1 suite is the
+#: shared ``serial`` delegate of every threaded one.
+_COMPILED_SUITES: dict[int, CompiledKernels] = {}
 _warned = False
+_warned_threads = False
 
 
-def get_suite(tier: str | None = None):
-    """Resolve a kernel tier name to a suite instance.
+def _reset_pools() -> None:
+    """Drop Python thread pools after fork (threads don't survive it).
 
-    ``tier=None`` consults ``REPRO_KERNEL_TIER`` (default ``"numpy"``).
-    An unavailable compiled tier falls back to NumPy with a one-time
-    warning rather than failing — identical numerics, just slower.
+    The C-side pthread pool re-arms itself via ``pthread_atfork``; this
+    mirrors that for the :meth:`CompiledKernels.map_chunks` executors so
+    the ProcessBackend's forked workers rebuild lazily instead of
+    deadlocking on dead worker threads.
     """
-    global _COMPILED_SUITE, _warned
-    if tier is None:
-        tier = os.environ.get("REPRO_KERNEL_TIER", "numpy")
-    if tier not in KERNEL_TIERS:
-        raise ValueError(f"unknown kernel_tier {tier!r}; expected one of {KERNEL_TIERS}")
-    if tier == "numpy":
+    for suite in _COMPILED_SUITES.values():
+        suite._pool = None
+
+
+os.register_at_fork(after_in_child=_reset_pools)
+
+
+def get_suite(tier: str | None = None, threads: int | None = None):
+    """Resolve tier/threads knobs to a kernel-suite instance.
+
+    ``None`` knobs consult ``REPRO_KERNEL_TIER`` /
+    ``REPRO_KERNEL_THREADS`` (defaults ``"numpy"``, 1).  An unavailable
+    compiled tier falls back to NumPy with a one-time warning rather
+    than failing; ``threads > 1`` on a build without pthread support
+    falls back to single-threaded the same way.  Every returned suite
+    produces identical bytes for identical inputs — the knobs only move
+    work between implementations.
+    """
+    global _warned, _warned_threads
+    cfg = resolve_config(tier, threads)
+    if cfg.tier == "numpy":
+        # NumPy manages its own internal parallelism; threads is a
+        # compiled-tier dispatch knob and is deliberately ignored here.
         return _NUMPY_SUITE
-    if _COMPILED_SUITE is None:
-        try:
-            _COMPILED_SUITE = CompiledKernels(load())
-        except KernelBuildError as exc:
-            if not _warned:
-                warnings.warn(
-                    f"compiled kernel tier unavailable ({exc}); "
-                    "falling back to the numpy tier",
-                    RuntimeWarning,
-                    stacklevel=2,
-                )
-                _warned = True
-            return _NUMPY_SUITE
-    return _COMPILED_SUITE
+    try:
+        lib = load()
+    except KernelBuildError as exc:
+        if not _warned:
+            warnings.warn(
+                f"compiled kernel tier unavailable ({exc}); "
+                "falling back to the numpy tier",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            _warned = True
+        return _NUMPY_SUITE
+    nthreads = cfg.threads
+    if nthreads > 1 and not lib.rk_threads_available():
+        if not _warned_threads:
+            warnings.warn(
+                "compiled kernel tier built without pthread support; "
+                f"kernel_threads={nthreads} runs single-threaded",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            _warned_threads = True
+        nthreads = 1
+    suite = _COMPILED_SUITES.get(nthreads)
+    if suite is None:
+        base = _COMPILED_SUITES.get(1)
+        if base is None:
+            base = _COMPILED_SUITES[1] = CompiledKernels(lib)
+        if nthreads == 1:
+            suite = base
+        else:
+            suite = CompiledKernels(lib, threads=nthreads, serial=base)
+            _COMPILED_SUITES[nthreads] = suite
+    return suite

@@ -115,19 +115,21 @@ class MachineBackend:
     ``kernel_tier`` selects the hot-loop implementation suite
     (:mod:`repro.kernels`): ``"numpy"`` (default) or ``"compiled"``
     (lazily built C, falling back to numpy when no compiler exists).
-    Both tiers are bitwise identical, so the knob composes freely with
-    every backend and with fault-recovery replay.
+    ``kernel_threads`` sets the compiled tier's worker-lane count.
+    Every tier/thread combination is bitwise identical, so both knobs
+    compose freely with every backend and with fault-recovery replay.
     """
 
     name = "base"
     kernel_tier: str | None = None
+    kernel_threads: int | None = None
 
     def bind(self, calc) -> None:
         """Attach to a MachineForceCalculator (called once by it)."""
         self.calc = calc
         from repro.kernels import get_suite
 
-        self.kernels = get_suite(self.kernel_tier)
+        self.kernels = get_suite(self.kernel_tier, self.kernel_threads)
 
     def close(self) -> None:
         """Release any external resources (worker pools)."""
@@ -383,7 +385,7 @@ class VectorizedBackend(MachineBackend):
             phi, e_k = gse.solve(Q)
         with t.time("mesh_interp"):
             if plan is not None:
-                f_k = plan.interpolate_forces(s.charges, phi)
+                f_k = plan.interpolate_forces(s.charges, phi, kernels=self.kernels)
             else:
                 f_k = gse.interpolate_forces(positions, s.charges, phi, chunk=_GSE_CHUNK)
             acc.deposit_dense(force_codec.quantize_round_only(f_k))
@@ -647,16 +649,24 @@ _BACKENDS = {
 }
 
 
-def make_backend(backend, kernel_tier: str | None = None) -> MachineBackend:
+def make_backend(
+    backend,
+    kernel_tier: str | None = None,
+    kernel_threads: int | None = None,
+) -> MachineBackend:
     """Resolve a backend name (or pass through an instance).
 
     ``kernel_tier`` selects the hot-loop suite (``"numpy"`` or
-    ``"compiled"``); ``None`` defers to the instance's own setting and
-    ultimately the ``REPRO_KERNEL_TIER`` environment variable.
+    ``"compiled"``) and ``kernel_threads`` its worker-lane count;
+    ``None`` defers to the instance's own setting and ultimately the
+    ``REPRO_KERNEL_TIER`` / ``REPRO_KERNEL_THREADS`` environment
+    variables.
     """
     if isinstance(backend, MachineBackend):
         if kernel_tier is not None:
             backend.kernel_tier = kernel_tier
+        if kernel_threads is not None:
+            backend.kernel_threads = kernel_threads
         return backend
     try:
         out = _BACKENDS[backend]()
@@ -666,4 +676,6 @@ def make_backend(backend, kernel_tier: str | None = None) -> MachineBackend:
         ) from None
     if kernel_tier is not None:
         out.kernel_tier = kernel_tier
+    if kernel_threads is not None:
+        out.kernel_threads = kernel_threads
     return out

@@ -255,6 +255,12 @@ class AntonMachine:
         without a compiler).  ``None`` defers to the
         ``REPRO_KERNEL_TIER`` environment variable.  Bitwise identical
         across tiers, so it never appears in fingerprints.
+    kernel_threads:
+        Worker-lane count for the compiled tier's persistent pthread
+        pool (``None`` defers to ``REPRO_KERNEL_THREADS``, default 1).
+        Bitwise-invisible like the tier knob: per-thread fixed-point
+        partials reduce with wrapping adds, so every thread count
+        produces identical trajectories, checkpoints, and state codes.
     faults:
         Optional fault injection: a :class:`~repro.fault.FaultSchedule`,
         a rates dict, or a ``--faults``-style spec string (e.g.
@@ -285,6 +291,7 @@ class AntonMachine:
         hw: AntonHardware = ANTON_2008,
         backend="vectorized",
         kernel_tier: str | None = None,
+        kernel_threads: int | None = None,
         faults=None,
         fault_seed: int = 0,
         recovery: RecoveryPolicy | None = None,
@@ -314,7 +321,7 @@ class AntonMachine:
         self.dfft = None
         if all(mm % d == 0 for mm, d in zip(params.mesh, self.topology.dims)):
             self.dfft = DistributedFFT3D(params.mesh, self.topology, self.network)
-        self.backend = make_backend(backend, kernel_tier)
+        self.backend = make_backend(backend, kernel_tier, kernel_threads)
         self.calc = MachineForceCalculator(system, params, self, self.backend)
         self.provider = MTSForceProvider(self.calc, force_codec=fixed_config.force_codec())
         solver = None
@@ -649,6 +656,8 @@ class AntonMachine:
         number that exposes hidden per-step bookkeeping.
         """
         out = self.calc.timers.profile("machine_step", self.integrator.step_count)
+        out["kernel_tier"] = self.backend.kernels.tier
+        out["kernel_threads"] = getattr(self.backend.kernels, "threads", 1)
         if self.fault_controller is not None:
             out["faults"] = self.fault_report()
             out["recovery_traffic"] = {

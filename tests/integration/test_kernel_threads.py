@@ -1,0 +1,238 @@
+"""Integration: kernel_threads is invisible in every artifact.
+
+The thread-count knob moves work onto worker lanes (a persistent C
+pthread pool inside the kernels, Python worker threads for per-replica
+dispatch) — and nothing else.  These tests pin the full contract at the
+machine and ensemble level: state codes, trajectory files, checkpoint
+files, and fault-replay healing are byte-identical for every thread
+count, on both tiers, and the knob resolves through one env-var funnel
+(:func:`repro.kernels.resolve_config`) with a graceful single-threaded
+fallback when the build has no pthread support.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import BerendsenThermostat, MDParams, minimize_energy
+from repro.ensemble import EnsembleSimulation, derive_replica_seeds
+from repro.io import CheckpointStore
+from repro.io.serialize import pack_state
+from repro.kernels import available, get_suite, resolve_config
+from repro.machine import AntonMachine
+from repro.systems import build_water_box
+
+MACHINE_PARAMS = MDParams(
+    cutoff=4.0,
+    mesh=(16, 16, 16),
+    kernel_mode="table",
+    long_range_every=2,
+    quantize_mesh_bits=40,
+)
+
+needs_compiler = pytest.mark.skipif(
+    not available(), reason="no C compiler: compiled kernel tier unavailable"
+)
+
+
+@pytest.fixture(scope="module")
+def base_system():
+    system = build_water_box(n_molecules=24, seed=11)
+    minimize_energy(system, MACHINE_PARAMS, max_steps=30)
+    system.initialize_velocities(300.0, seed=12)
+    return system
+
+
+def make_machine(base_system, tier, threads, **kwargs):
+    return AntonMachine(
+        base_system.copy(), MACHINE_PARAMS, n_nodes=8, dt=1.0,
+        backend="vectorized", kernel_tier=tier, kernel_threads=threads,
+        **kwargs,
+    )
+
+
+class TestMachineThreadSweep:
+    @needs_compiler
+    def test_state_bytes_identical_across_thread_counts_and_tiers(self, base_system):
+        """{numpy} x compiled T in {1,2,8}: one packed state, byte-equal."""
+        packed = {}
+        for tier, threads in (("numpy", 1), ("compiled", 1), ("compiled", 2), ("compiled", 8)):
+            machine = make_machine(base_system, tier, threads)
+            try:
+                machine.run(6)
+                packed[(tier, threads)] = pack_state(machine.checkpoint())
+            finally:
+                machine.close()
+        want = packed[("numpy", 1)]
+        for key, got in packed.items():
+            assert got == want, f"state bytes diverged for {key}"
+
+    @needs_compiler
+    def test_artifacts_byte_identical_across_thread_counts(self, base_system, tmp_path):
+        """Trajectory and checkpoint FILES match between T=1 and T=8."""
+        paths = {}
+        for threads in (1, 8):
+            machine = make_machine(base_system, "compiled", threads)
+            traj_path = tmp_path / f"t{threads}.traj"
+            store = CheckpointStore(tmp_path / f"ck_t{threads}")
+            try:
+                with machine.open_trajectory(traj_path) as traj:
+                    machine.run(
+                        6, trajectory=traj, trajectory_every=2,
+                        checkpoint_store=store, checkpoint_every=3,
+                    )
+                assert getattr(machine.backend.kernels, "threads", 1) == threads
+                paths[threads] = (traj_path, [store.path_for(s) for s in store.steps()])
+            finally:
+                machine.close()
+        traj1, cks1 = paths[1]
+        traj8, cks8 = paths[8]
+        assert traj1.read_bytes() == traj8.read_bytes()
+        assert len(cks1) == len(cks8) == 2
+        for a, b in zip(cks1, cks8):
+            assert a.read_bytes() == b.read_bytes()
+
+    @needs_compiler
+    def test_faulted_threaded_run_heals_to_clean_serial_bits(self, base_system):
+        """Fault replay through the threaded kernels lands on clean T=1 bytes.
+
+        Replayed steps re-execute through the same worker pool; a
+        stateful or order-sensitive lane would make the healed state
+        drift from the clean single-threaded run.
+        """
+        clean = make_machine(base_system, "compiled", 1)
+        try:
+            clean.run(8)
+            want = pack_state(clean.checkpoint())
+        finally:
+            clean.close()
+
+        chaos = make_machine(
+            base_system, "compiled", 8,
+            faults={"drop": 2, "corrupt": 1}, fault_seed=3,
+        )
+        try:
+            chaos.run(8)
+            report = chaos.fault_report()
+            assert report["injected"] > 0
+            assert pack_state(chaos.checkpoint()) == want
+        finally:
+            chaos.close()
+
+    @needs_compiler
+    def test_profile_reports_tier_and_threads(self, base_system):
+        machine = make_machine(base_system, "compiled", 2)
+        try:
+            machine.run(2)
+            prof = machine.profile()
+        finally:
+            machine.close()
+        assert prof["kernel_tier"] == "compiled"
+        assert prof["kernel_threads"] == 2
+
+
+class TestEnsembleThreadSweep:
+    @needs_compiler
+    def test_ensemble_state_codes_identical_across_thread_counts(self):
+        """R=3 replica ensemble: T=8 state codes == T=1, per replica."""
+        base = build_water_box(n_molecules=24, seed=5)
+        params = MDParams(
+            cutoff=min(5.5, base.box.max_cutoff() * 0.9), mesh=(16, 16, 16),
+            long_range_every=2, kernel_mode="table",
+        )
+        minimize_energy(base, params, max_steps=30)
+        seeds = derive_replica_seeds(7, 3)
+        codes = {}
+        for threads in (1, 8):
+            ens = EnsembleSimulation(
+                base, params, dt=1.0, seeds=seeds, temperature=300.0,
+                thermostat=BerendsenThermostat(300.0), constraints=True,
+                kernel_tier="compiled", kernel_threads=threads,
+            )
+            ens.run(10)
+            codes[threads] = [ens.state_codes(r) for r in range(3)]
+        for got, want in zip(codes[8], codes[1]):
+            for a, b in zip(got, want):
+                np.testing.assert_array_equal(a, b)
+
+
+class TestConfigResolution:
+    def test_explicit_args_win(self):
+        cfg = resolve_config("numpy", 4)
+        assert (cfg.tier, cfg.threads) == ("numpy", 4)
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL_TIER", "compiled")
+        monkeypatch.setenv("REPRO_KERNEL_THREADS", "6")
+        cfg = resolve_config()
+        assert (cfg.tier, cfg.threads) == ("compiled", 6)
+
+    def test_arg_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL_THREADS", "6")
+        assert resolve_config("numpy", 2).threads == 2
+
+    def test_defaults(self, monkeypatch):
+        monkeypatch.delenv("REPRO_KERNEL_TIER", raising=False)
+        monkeypatch.delenv("REPRO_KERNEL_THREADS", raising=False)
+        cfg = resolve_config()
+        assert (cfg.tier, cfg.threads) == ("numpy", 1)
+
+    @pytest.mark.parametrize("bad", [0, -1, 129, 10**6])
+    def test_thread_count_out_of_range(self, bad):
+        with pytest.raises(ValueError, match="kernel_threads must be in"):
+            resolve_config("numpy", bad)
+
+    def test_non_integer_env_is_a_clear_error(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL_THREADS", "many")
+        with pytest.raises(ValueError, match="not an integer"):
+            resolve_config("numpy")
+
+    def test_unknown_tier_rejected(self):
+        with pytest.raises(ValueError, match="unknown kernel_tier"):
+            resolve_config("fortran", 1)
+
+    @needs_compiler
+    def test_env_threads_reach_the_machine(self, base_system, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL_TIER", "compiled")
+        monkeypatch.setenv("REPRO_KERNEL_THREADS", "2")
+        machine = AntonMachine(
+            base_system.copy(), MACHINE_PARAMS, n_nodes=8, dt=1.0,
+            backend="vectorized",
+        )
+        try:
+            assert machine.backend.kernels.tier == "compiled"
+            assert machine.backend.kernels.threads == 2
+        finally:
+            machine.close()
+
+
+class TestPthreadlessFallback:
+    @needs_compiler
+    def test_build_without_pthreads_degrades_to_single_thread(self, monkeypatch):
+        """rk_threads_available()==0: warn once, run the T=1 suite."""
+        from repro.kernels import build, suite
+
+        real = build.load()
+
+        class NoPthreadLib:
+            def __getattr__(self, name):
+                if name == "rk_threads_available":
+                    return lambda: 0
+                return getattr(real, name)
+
+        monkeypatch.setattr(suite, "load", NoPthreadLib)
+        monkeypatch.setattr(suite, "_COMPILED_SUITES", {})
+        monkeypatch.setattr(suite, "_warned_threads", False)
+
+        with pytest.warns(RuntimeWarning, match="without pthread support"):
+            k = get_suite("compiled", 8)
+        assert k.tier == "compiled"
+        assert k.threads == 1
+
+        # One-time warning: a second resolution is silent and reuses
+        # the cached single-thread suite.
+        import warnings as _w
+
+        with _w.catch_warnings():
+            _w.simplefilter("error")
+            again = get_suite("compiled", 4)
+        assert again is k

@@ -157,7 +157,7 @@ class TestNumpyFallback:
             raise build.KernelBuildError("no working C compiler (simulated)")
 
         monkeypatch.setattr(suite, "load", broken_load)
-        monkeypatch.setattr(suite, "_COMPILED_SUITE", None)
+        monkeypatch.setattr(suite, "_COMPILED_SUITES", {})
         monkeypatch.setattr(suite, "_warned", False)
 
         with pytest.warns(RuntimeWarning, match="falling back to the numpy tier"):
