@@ -18,12 +18,18 @@ the storage layer that realizes it in the reproduction:
 """
 
 from repro.io.checkpoint import CheckpointError, CheckpointStore, LoadedCheckpoint
-from repro.io.energylog import EnergyLogWriter, read_energy_log
+from repro.io.energylog import EnergyLogWriter, read_energy_log, truncate_energy_log
 from repro.io.records import CorruptRecord
 from repro.io.replicas import (
+    indexed_artifact_path,
+    job_checkpoint_dir,
+    job_energy_log_path,
+    job_trajectory_path,
     replica_checkpoint_dir,
     replica_checkpoint_store,
     replica_trajectory_path,
+    sanitize_artifact_name,
+    unique_artifact_dir,
 )
 from repro.io.serialize import (
     FingerprintMismatch,
@@ -53,4 +59,11 @@ __all__ = [
     "replica_checkpoint_dir",
     "replica_checkpoint_store",
     "replica_trajectory_path",
+    "indexed_artifact_path",
+    "job_checkpoint_dir",
+    "job_energy_log_path",
+    "job_trajectory_path",
+    "sanitize_artifact_name",
+    "truncate_energy_log",
+    "unique_artifact_dir",
 ]

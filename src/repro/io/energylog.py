@@ -20,7 +20,7 @@ from __future__ import annotations
 import json
 import os
 
-__all__ = ["EnergyLogWriter", "read_energy_log"]
+__all__ = ["EnergyLogWriter", "read_energy_log", "truncate_energy_log"]
 
 _FIELDS = ("step", "time_fs", "kinetic", "potential", "temperature")
 
@@ -46,6 +46,39 @@ class EnergyLogWriter:
 
     def __exit__(self, *exc):
         self.close()
+
+
+def truncate_energy_log(path, resume_step: int) -> int:
+    """Drop records past ``resume_step`` (and any torn tail) in place.
+
+    A run resuming from a checkpoint at ``resume_step`` will re-log
+    every later record with identical bits, so cutting the file at the
+    first line whose step exceeds ``resume_step`` — or at the first
+    unparseable (torn) line — makes the finished log **byte-identical**
+    to an uninterrupted run's, not merely record-identical after the
+    read-back dedupe.  Returns the number of records kept.  A missing
+    file is fine (nothing was logged yet): returns 0.
+    """
+    try:
+        f = open(path, "r+b")
+    except FileNotFoundError:
+        return 0
+    with f:
+        keep_end = 0
+        kept = 0
+        for line in f:
+            try:
+                row = json.loads(line)
+                step = int(row["step"])
+            except (json.JSONDecodeError, KeyError, ValueError, TypeError):
+                break  # torn tail from a crash mid-write
+            if not line.endswith(b"\n") or step > int(resume_step):
+                break
+            keep_end += len(line)
+            kept += 1
+        f.seek(keep_end)
+        f.truncate(keep_end)
+    return kept
 
 
 def read_energy_log(path) -> list:

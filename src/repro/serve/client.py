@@ -1,0 +1,101 @@
+"""Client side of the serve protocol: one JSONL request per connection.
+
+Used by the ``repro submit|jobs|cancel`` CLI commands, the smoke
+harness, and tests.  The protocol is deliberately tiny — connect to
+``<dir>/serve.sock``, send one JSON object terminated by a newline,
+read one JSON object back, close — so any language (or ``nc -U``) can
+drive the service.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+from pathlib import Path
+
+from repro.serve.server import SOCKET_NAME
+
+__all__ = ["ServeClient", "ServeUnavailable", "request"]
+
+
+class ServeUnavailable(ConnectionError):
+    """No server is listening on the state directory's socket."""
+
+
+def request(directory, payload: dict, timeout: float = 30.0) -> dict:
+    """One request/response round trip against a serve state directory."""
+    sock_path = Path(directory) / SOCKET_NAME
+    if not sock_path.exists():
+        raise ServeUnavailable(f"no server socket at {sock_path}")
+    s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    s.settimeout(timeout)
+    try:
+        try:
+            s.connect(str(sock_path))
+        except OSError as exc:
+            raise ServeUnavailable(f"cannot reach server at {sock_path}: {exc}")
+        s.sendall((json.dumps(payload) + "\n").encode())
+        raw = b""
+        while not raw.endswith(b"\n"):
+            chunk = s.recv(65536)
+            if not chunk:
+                break
+            raw += chunk
+    finally:
+        s.close()
+    if not raw.strip():
+        raise ServeUnavailable(f"server at {sock_path} closed without replying")
+    return json.loads(raw.decode())
+
+
+class ServeClient:
+    """Convenience wrapper binding :func:`request` to one directory."""
+
+    def __init__(self, directory, timeout: float = 30.0):
+        self.directory = Path(directory)
+        self.timeout = timeout
+
+    def _call(self, op: str, **kw) -> dict:
+        resp = request(self.directory, {"op": op, **kw}, timeout=self.timeout)
+        if not resp.get("ok"):
+            raise RuntimeError(resp.get("error", f"op {op!r} failed"))
+        return resp
+
+    def ping(self) -> dict:
+        return self._call("ping")
+
+    def submit(self, spec_dict: dict) -> dict:
+        """Submit a job; returns ``{"id": ..., "arrival": ...}``."""
+        return self._call("submit", spec=spec_dict)
+
+    def jobs(self) -> list[dict]:
+        return self._call("jobs")["jobs"]
+
+    def status(self, job_id: str) -> dict:
+        return self._call("status", id=job_id)["job"]
+
+    def cancel(self, job_id: str) -> dict:
+        return self._call("cancel", id=job_id)
+
+    def metrics(self) -> dict:
+        return self._call("metrics")["metrics"]
+
+    def shutdown(self) -> None:
+        self._call("shutdown")
+
+    def wait(self, job_ids, poll: float = 0.2, timeout: float = 600.0) -> dict:
+        """Block until every listed job is terminal; returns id -> state."""
+        from repro.serve.jobs import TERMINAL_STATES
+
+        ids = list(job_ids)
+        deadline = time.time() + timeout
+        while True:
+            states = {j["id"]: j["state"] for j in self.jobs() if j["id"] in ids}
+            if len(states) == len(ids) and all(
+                s in TERMINAL_STATES for s in states.values()
+            ):
+                return states
+            if time.time() > deadline:
+                raise TimeoutError(f"jobs not terminal after {timeout}s: {states}")
+            time.sleep(poll)

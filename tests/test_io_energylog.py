@@ -1,7 +1,7 @@
 """Unit tests for the streaming JSONL energy log."""
 
 from repro.core.simulation import EnergyRecord
-from repro.io import EnergyLogWriter, read_energy_log
+from repro.io import EnergyLogWriter, read_energy_log, truncate_energy_log
 
 
 def rec(step, e=1.0):
@@ -47,3 +47,47 @@ class TestEnergyLog:
         with EnergyLogWriter(path) as w:
             w.write(rec(9))
         assert [r.step for r in read_energy_log(path)] == [9]
+
+
+class TestTruncateEnergyLog:
+    """Resume-time truncation: drop records past the checkpoint so an
+    appended continuation is *byte*-identical to an uninterrupted log
+    (dedup-on-read hides duplicates, but bytes are the contract)."""
+
+    def write(self, path, steps):
+        with EnergyLogWriter(path) as w:
+            for s in steps:
+                w.write(rec(s))
+
+    def test_drops_past_checkpoint_records(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        self.write(path, [2, 4, 6, 8])
+        assert truncate_energy_log(path, resume_step=4) == 2
+        assert [r.step for r in read_energy_log(path)] == [2, 4]
+
+    def test_byte_identity_after_resume_style_append(self, tmp_path):
+        full, healed = tmp_path / "full.jsonl", tmp_path / "healed.jsonl"
+        self.write(full, [2, 4, 6, 8])
+        self.write(healed, [2, 4, 6])  # crashed after logging step 6
+        truncate_energy_log(healed, resume_step=4)  # resume from step-4 ckpt
+        with EnergyLogWriter(healed, append=True) as w:
+            for s in (6, 8):
+                w.write(rec(s))
+        assert healed.read_bytes() == full.read_bytes()
+
+    def test_torn_tail_dropped_even_before_resume_step(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        self.write(path, [2, 4])
+        path.write_bytes(path.read_bytes()[:-9])  # tear the step-4 line
+        assert truncate_energy_log(path, resume_step=10) == 1
+        assert [r.step for r in read_energy_log(path)] == [2]
+
+    def test_noop_when_nothing_past(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        self.write(path, [2, 4])
+        before = path.read_bytes()
+        assert truncate_energy_log(path, resume_step=4) == 2
+        assert path.read_bytes() == before
+
+    def test_missing_file_is_zero(self, tmp_path):
+        assert truncate_energy_log(tmp_path / "absent.jsonl", 5) == 0
