@@ -42,7 +42,7 @@ from repro.fault.detect import HeartbeatBoard
 from repro.io import unique_artifact_dir
 from repro.perf.timers import Timers
 from repro.serve.jobs import TERMINAL_STATES, JobSpec
-from repro.serve.queue import JobQueue
+from repro.serve.queue import JobQueue, QueueError
 from repro.serve.scheduler import Assignment, plan
 from repro.serve.workers import worker_main
 
@@ -72,7 +72,7 @@ class _Worker:
     """Server-side handle of one worker process."""
 
     __slots__ = ("idx", "proc", "cmd_q", "assignment", "pid", "tier",
-                 "threads", "last_beat", "missed")
+                 "threads", "last_beat", "missed", "preempt_sent")
 
     def __init__(self, idx: int):
         self.idx = idx
@@ -84,10 +84,53 @@ class _Worker:
         self.threads = 0
         self.last_beat = 0.0
         self.missed = 0
+        #: One preempt command per assignment: the scheduler re-plans
+        #: every tick, so without this latch a long slice would pile up
+        #: stale preempts that bleed into the next assignment.
+        self.preempt_sent = False
 
     @property
     def busy(self) -> bool:
         return self.assignment is not None
+
+    def send_preempt(self) -> bool:
+        """Ask the current assignment to stop at its slice boundary.
+
+        Idempotent per assignment; the command is tagged with the
+        assignment's job ids so the worker can discard it if it arrives
+        after that assignment already finished.
+        """
+        if self.preempt_sent or self.assignment is None:
+            return False
+        self.cmd_q.put({"cmd": "preempt", "jobs": list(self.assignment.jobs)})
+        self.preempt_sent = True
+        return True
+
+
+class _Conn:
+    """One in-flight client connection (non-blocking, selector-driven).
+
+    The main loop is single-threaded; a slow or stalled client must
+    never block scheduling, event draining, or dead-worker reaping.  So
+    connections accumulate bytes on read-readiness, the request is
+    handled the instant its newline arrives, and an unflushed response
+    drains on write-readiness — with a hard deadline after which the
+    connection is dropped.
+    """
+
+    __slots__ = ("sock", "inbuf", "outbuf", "deadline")
+
+    #: Seconds a connection may exist before it is summarily closed.
+    TIMEOUT = 5.0
+    #: Refuse requests larger than this (the protocol is one small
+    #: JSON object; anything bigger is a confused or hostile client).
+    MAX_REQUEST = 1 << 20
+
+    def __init__(self, sock: socket.socket):
+        self.sock = sock
+        self.inbuf = b""
+        self.outbuf = b""
+        self.deadline = time.time() + self.TIMEOUT
 
 
 class Server:
@@ -130,6 +173,7 @@ class Server:
         self._sock.setblocking(False)
         self._sel = selectors.DefaultSelector()
         self._sel.register(self._sock, selectors.EVENT_READ)
+        self._conns: list[_Conn] = []
 
         self._ctx = mp.get_context("fork")
         self._evt_q = self._ctx.Queue()
@@ -150,6 +194,7 @@ class Server:
         w.proc.start()
         w.pid = w.proc.pid
         w.assignment = None
+        w.preempt_sent = False
         w.last_beat = time.time()
         w.missed = 0
         self.board.clear(w.idx)
@@ -165,6 +210,11 @@ class Server:
                     job = self.queue.jobs[job_id]
                     if job.state == "RUNNING":
                         self.queue.requeue(job_id, reason="worker-died")
+                        if job_id in self._cancel_requested:
+                            # The cancel must survive the worker death,
+                            # not silently turn back into a requeue.
+                            self.queue.transition(job_id, "CANCELLED")
+                            self._cancel_requested.discard(job_id)
                 self._log(f"worker {w.idx} (pid {w.pid}) died; requeued "
                           f"{list(w.assignment.jobs)}")
                 w.assignment = None
@@ -185,6 +235,7 @@ class Server:
                          "artifact_dir": job.artifact_dir,
                          "steps_done": job.steps_done})
         w.assignment = assignment
+        w.preempt_sent = False
         w.cmd_q.put({"cmd": "run", "jobs": jobs})
 
     # -- event handling -----------------------------------------------------
@@ -196,6 +247,13 @@ class Server:
             except Empty:
                 return
             w = self.workers[evt["worker"]]
+            if evt.get("pid") != w.pid:
+                # A SIGKILLed worker's queued events can surface after
+                # _reap_dead already requeued its jobs and spawned a
+                # replacement; applying them would clear the
+                # replacement's assignment and double-dispatch.  Every
+                # event carries its process incarnation — drop strays.
+                continue
             w.last_beat = time.time()
             w.missed = 0
             self.board.clear(w.idx)
@@ -227,11 +285,14 @@ class Server:
                 self.queue.transition(job_id, "DONE", steps_done=steps,
                                       run_seconds=run_s,
                                       finished_at=float(evt["wall"]))
+                # Finished before the preempt landed: the cancel is moot.
+                self._cancel_requested.discard(job_id)
             elif kind == "failed":
                 self.queue.transition(job_id, "FAILED", steps_done=steps,
                                       run_seconds=run_s, error=evt["error"],
                                       finished_at=float(evt["wall"]))
                 self._log(f"job {job_id} failed:\n{evt['error']}")
+                self._cancel_requested.discard(job_id)
             else:  # preempted (scheduler or cancel request)
                 self.queue.transition(job_id, "PREEMPTED", reason="preempt",
                                       steps_done=steps, run_seconds=run_s,
@@ -244,6 +305,7 @@ class Server:
                 else:
                     self.queue.transition(job_id, "PENDING", reason="preempt")
         w.assignment = None
+        w.preempt_sent = False
 
     def _check_stalls(self) -> None:
         for w in self.workers:
@@ -266,8 +328,8 @@ class Server:
         for victim in decision.preempt:
             for w in self.workers:
                 if w.assignment == victim:
-                    w.cmd_q.put({"cmd": "preempt"})
-                    self.timers.count("serve_preemptions")
+                    if w.send_preempt():
+                        self.timers.count("serve_preemptions")
                     break
         free_workers = [w for w in self.workers if not w.busy]
         for w, assignment in zip(free_workers, decision.assignments):
@@ -277,6 +339,18 @@ class Server:
     # -- client protocol ----------------------------------------------------
 
     def _handle_request(self, req: dict) -> dict:
+        """Serve one client request; never raises.
+
+        The broad except is load-bearing: an exception escaping here
+        would unwind ``tick()``/``serve_forever`` and take the whole
+        multi-tenant service down over one bad request.
+        """
+        try:
+            return self._dispatch_request(req)
+        except Exception as exc:
+            return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+
+    def _dispatch_request(self, req: dict) -> dict:
         op = req.get("op")
         if op == "ping":
             return {"ok": True, "pid": os.getpid()}
@@ -284,7 +358,9 @@ class Server:
             try:
                 spec = JobSpec.from_dict(req.get("spec", {}))
                 job = self.queue.submit(spec)
-            except (TypeError, ValueError) as exc:
+            except (TypeError, ValueError, QueueError) as exc:
+                # QueueError covers a resubmitted job name — a client
+                # mistake, not a server fault.
                 return {"ok": False, "error": str(exc)}
             return {"ok": True, "id": job.id, "arrival": job.arrival}
         if op == "jobs":
@@ -320,7 +396,7 @@ class Server:
         self._cancel_requested.add(job_id)
         for w in self.workers:
             if w.assignment and job_id in w.assignment.jobs:
-                w.cmd_q.put({"cmd": "preempt"})
+                w.send_preempt()
                 break
         return {"ok": True, "state": "CANCELLING"}
 
@@ -378,37 +454,84 @@ class Server:
     # -- socket plumbing ----------------------------------------------------
 
     def _poll_socket(self, timeout: float) -> None:
-        for key, _mask in self._sel.select(timeout):
+        """One bounded select pass: accept, read, write — never block.
+
+        All client I/O is readiness-driven so a slow client costs the
+        main loop nothing beyond its buffered bytes; connections that
+        overstay :attr:`_Conn.TIMEOUT` are dropped.
+        """
+        for key, mask in self._sel.select(timeout):
             if key.fileobj is self._sock:
                 try:
-                    conn, _ = self._sock.accept()
+                    sock, _ = self._sock.accept()
                 except OSError:
                     continue
-                self._serve_connection(conn)
-
-    def _serve_connection(self, conn: socket.socket) -> None:
-        """One request, one response, close (bounded, blocking)."""
-        conn.settimeout(2.0)
-        try:
-            raw = b""
-            while not raw.endswith(b"\n"):
-                chunk = conn.recv(65536)
-                if not chunk:
-                    break
-                raw += chunk
-            if not raw.strip():
-                return
-            try:
-                req = json.loads(raw.decode())
-            except json.JSONDecodeError as exc:
-                resp = {"ok": False, "error": f"bad request: {exc}"}
+                sock.setblocking(False)
+                conn = _Conn(sock)
+                self._conns.append(conn)
+                self._sel.register(sock, selectors.EVENT_READ, conn)
             else:
-                resp = self._handle_request(req)
-            conn.sendall((json.dumps(resp) + "\n").encode())
-        except OSError:
+                self._conn_io(key.data, mask)
+        now = time.time()
+        for conn in [c for c in self._conns if now > c.deadline]:
+            self._close_conn(conn)
+
+    def _conn_io(self, conn: _Conn, mask: int) -> None:
+        try:
+            if mask & selectors.EVENT_READ:
+                chunk = conn.sock.recv(65536)
+                if not chunk:  # client went away (or sent EOF early)
+                    self._close_conn(conn)
+                    return
+                conn.inbuf += chunk
+                if len(conn.inbuf) > _Conn.MAX_REQUEST:
+                    self._close_conn(conn)
+                    return
+                if b"\n" in conn.inbuf:
+                    self._respond(conn)
+            if conn.outbuf and mask & selectors.EVENT_WRITE:
+                self._flush_conn(conn)
+        except BlockingIOError:
             pass
-        finally:
-            conn.close()
+        except OSError:
+            self._close_conn(conn)
+
+    def _respond(self, conn: _Conn) -> None:
+        raw, _, _ = conn.inbuf.partition(b"\n")
+        if not raw.strip():
+            self._close_conn(conn)
+            return
+        try:
+            req = json.loads(raw.decode())
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            resp = {"ok": False, "error": f"bad request: {exc}"}
+        else:
+            resp = self._handle_request(req)
+        conn.outbuf = (json.dumps(resp) + "\n").encode()
+        self._flush_conn(conn)
+
+    def _flush_conn(self, conn: _Conn) -> None:
+        try:
+            sent = conn.sock.send(conn.outbuf)
+        except BlockingIOError:
+            sent = 0
+        except OSError:
+            self._close_conn(conn)
+            return
+        conn.outbuf = conn.outbuf[sent:]
+        if not conn.outbuf:
+            self._close_conn(conn)
+        else:
+            self._sel.modify(conn.sock, selectors.EVENT_WRITE, conn)
+
+    def _close_conn(self, conn: _Conn) -> None:
+        try:
+            self._sel.unregister(conn.sock)
+        except (KeyError, ValueError):
+            pass
+        conn.sock.close()
+        if conn in self._conns:
+            self._conns.remove(conn)
 
     # -- main loop ----------------------------------------------------------
 
@@ -454,6 +577,8 @@ class Server:
                 w.proc.join(timeout=max(0.1, deadline - time.time()))
                 if w.proc.is_alive():
                     w.proc.terminate()
+        for conn in list(self._conns):
+            self._close_conn(conn)
         self._sel.close()
         self._sock.close()
         self.sock_path.unlink(missing_ok=True)

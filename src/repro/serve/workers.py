@@ -312,7 +312,12 @@ def worker_main(worker_id: int, cmd_q, evt_q, kernel_tier, kernel_threads,
     keep mutating artifacts a restarted server will reschedule).
     """
     cfg, tier, threads, notes = resolve_worker_kernels(kernel_tier, kernel_threads)
-    evt_q.put({"evt": "online", "worker": worker_id, "pid": os.getpid(),
+    # Every event carries this process incarnation's pid: mp.Queue can
+    # surface a SIGKILLed worker's buffered events after the server has
+    # already spawned a replacement into the same slot, and the server
+    # must be able to tell the two apart.
+    pid = os.getpid()
+    evt_q.put({"evt": "online", "worker": worker_id, "pid": pid,
                "tier": tier, "threads": threads, "warnings": notes})
 
     def drain_cmds() -> list[dict]:
@@ -334,7 +339,7 @@ def worker_main(worker_id: int, cmd_q, evt_q, kernel_tier, kernel_threads,
                 if os.getppid() != parent_pid:
                     return
                 evt_q.put({"evt": "heartbeat", "worker": worker_id,
-                           "wall": time.time()})
+                           "pid": pid, "wall": time.time()})
                 continue
         if msg.get("cmd") == "stop":
             return
@@ -342,7 +347,8 @@ def worker_main(worker_id: int, cmd_q, evt_q, kernel_tier, kernel_threads,
             continue
 
         jobs = [AssignmentJob.from_dict(d) for d in msg["jobs"]]
-        evt_q.put({"evt": "started", "worker": worker_id,
+        job_ids = {j.id for j in jobs}
+        evt_q.put({"evt": "started", "worker": worker_id, "pid": pid,
                    "jobs": [j.id for j in jobs], "wall": time.time()})
         t0 = time.time()
         state = {"preempt": False}
@@ -352,21 +358,29 @@ def worker_main(worker_id: int, cmd_q, evt_q, kernel_tier, kernel_threads,
                 os._exit(1)  # orphaned mid-run: stop touching artifacts
             for cmd in drain_cmds():
                 if cmd.get("cmd") == "preempt":
-                    state["preempt"] = True
+                    # A preempt tagged for a different assignment is a
+                    # stale leftover — obeying it would churn this one.
+                    if cmd.get("jobs") is None or job_ids.issuperset(cmd["jobs"]):
+                        state["preempt"] = True
                 elif cmd.get("cmd") == "stop":
                     state["preempt"] = True
+                    pending_cmds.append(cmd)
+                elif cmd.get("cmd") == "run":
+                    # Never drop work: hold it for the idle loop rather
+                    # than leaving its jobs RUNNING with no worker.
                     pending_cmds.append(cmd)
             return "preempt" if state["preempt"] else None
 
         def progress(done: dict) -> None:
-            evt_q.put({"evt": "slice", "worker": worker_id, "steps": done,
-                       "wall": time.time()})
+            evt_q.put({"evt": "slice", "worker": worker_id, "pid": pid,
+                       "steps": done, "wall": time.time()})
 
         outcome = execute_assignment(jobs, control=control, progress=progress,
                                      kernel_cfg=cfg)
         evt_q.put({
             "evt": outcome.status,  # "done" | "preempted" | "failed"
             "worker": worker_id,
+            "pid": pid,
             "jobs": [j.id for j in jobs],
             "steps": outcome.steps_done,
             "error": outcome.error,
