@@ -93,3 +93,54 @@ def test_figure5_two_orders_of_magnitude(benchmark, record_table):
     )
     assert vs_desmond > 25
     assert vs_cluster > 100  # "roughly two orders of magnitude"
+
+
+def test_figure5_network_scaling_sweep(benchmark, record_table, results_dir):
+    """Predicted 512-4096 node scaling with the routed fabric on the
+    critical path; commits the sweep JSON for audit."""
+    import json
+
+    pm = PerformanceModel()
+    dhfr = benchmark_by_name("DHFR")
+    rows = benchmark.pedantic(
+        lambda: pm.anton_routed_scaling(dhfr, node_counts=(512, 1024, 2048, 4096)),
+        rounds=1, iterations=1,
+    )
+
+    lines = [
+        "Figure 5 extension: DHFR predicted scaling, routed congested fabric",
+        f"{'nodes':>6} {'short us':>9} {'long us':>8} {'step us':>8} "
+        f"{'us/day routed':>14} {'us/day counter':>15} {'mcast saved B':>14}",
+    ]
+    for r in rows:
+        lines.append(
+            f"{r['n_nodes']:>6} {r['short_comm_us']:>9.2f} {r['long_comm_us']:>8.2f} "
+            f"{r['step_us_routed']:>8.2f} {r['us_per_day_routed']:>14.2f} "
+            f"{r['us_per_day_counter']:>15.2f} {r['multicast']['saved_link_bytes']:>14}"
+        )
+    record_table("figure5_network_scaling", lines)
+    (results_dir / "BENCH_network_scaling.json").write_text(
+        json.dumps(rows, indent=2, default=float) + "\n"
+    )
+
+    for r in rows:
+        # The routed model can only add communication exposure on top of
+        # the compute-only counter rate, never speed it up.
+        assert r["us_per_day_routed"] <= r["us_per_day_counter"] * 1.001
+        # NT tree multicast measurably cuts position-broadcast bytes.
+        assert r["multicast"]["saved_link_bytes"] > 0
+        # Per-link byte conservation against the flat counters, exact.
+        lhs = (
+            r["link_bytes_total"]
+            + r["multicast"]["saved_link_bytes"]
+            + r["compression_saved_link_bytes"]
+        )
+        assert lhs == r["counter_hop_bytes"]
+
+    # At full link bandwidth, communication hides under compute: the
+    # 512-node anchor survives routing.
+    assert rows[0]["us_per_day_routed"] == pytest.approx(16.4, rel=0.03)
+    # Finer decomposition lightens the busiest link end to end.  (The
+    # intermediate counts give anisotropic tori whose import regions
+    # are lopsided, so the curve is not strictly monotone.)
+    assert rows[-1]["max_link_bytes"] < rows[0]["max_link_bytes"]

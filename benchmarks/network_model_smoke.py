@@ -1,0 +1,177 @@
+#!/usr/bin/env python
+"""Network-model smoke: the routed fabric's three load-bearing claims.
+
+CI drill of the routed-network acceptance bar, on a small functional
+machine run plus synthetic traffic:
+
+1. **Conservation** — summed per-link bytes (plus the multicast and
+   compression savings counters) reproduce ``NetworkStats.hop_bytes``
+   exactly, as integers, on a real 8-node routed run.
+2. **Multicast saves bytes** — the spanning-tree position broadcast
+   costs strictly fewer link bytes than unicast fan-out, and the tree
+   never loses to unicast on random traffic.
+3. **Congestion monotone** — predicted step communication time is
+   monotone non-decreasing as injected congestion grows (usable link
+   bandwidth shrinks), and the physics is untouched: routed and
+   unrouted runs end on identical state codes.
+
+Exits non-zero on any violation.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.core import MDParams, minimize_energy  # noqa: E402
+from repro.machine import AntonMachine  # noqa: E402
+from repro.network import (  # noqa: E402
+    CongestionModel,
+    LinkRouter,
+    RoutedConfig,
+    multicast_tree_links,
+)
+from repro.parallel.comm import SimNetwork  # noqa: E402
+from repro.parallel.topology import TorusTopology  # noqa: E402
+from repro.systems import build_water_box  # noqa: E402
+
+PARAMS = MDParams(
+    cutoff=4.0,
+    mesh=(16, 16, 16),
+    kernel_mode="table",
+    long_range_every=2,
+    quantize_mesh_bits=40,
+)
+N_NODES = 8
+STEPS = 6
+
+
+def fail(msg: str) -> None:
+    print(f"FAIL: {msg}")
+    sys.exit(1)
+
+
+def build_system():
+    system = build_water_box(n_molecules=24, seed=11)
+    minimize_energy(system, PARAMS, max_steps=30)
+    system.initialize_velocities(300.0, seed=12)
+    return system
+
+
+def run(system, routed):
+    machine = AntonMachine(
+        system.copy(), PARAMS, n_nodes=N_NODES, dt=1.0,
+        backend="vectorized", routed=routed,
+    )
+    try:
+        machine.step(STEPS)
+        codes = machine.state_codes()
+        router = machine.router
+        stats = machine.network.stats
+        return codes, router, stats
+    finally:
+        machine.close()
+
+
+def check_conservation(router, stats) -> None:
+    lhs = (
+        router.primary.total_bytes()
+        + router.multicast_saved_hop_bytes
+        + router.compression_saved_hop_bytes
+    )
+    if lhs != stats.hop_bytes:
+        fail(f"conservation violated: {lhs} != hop_bytes {stats.hop_bytes}")
+    print(f"conservation: {lhs} == hop_bytes {stats.hop_bytes} (exact)")
+
+
+def check_multicast_savings(tree_router, unicast_router) -> None:
+    tag = "position_import"
+    tree = int(tree_router.by_tag[tag].bytes.sum())
+    unicast = int(unicast_router.by_tag[tag].bytes.sum())
+    if not tree < unicast:
+        fail(f"tree multicast did not save: {tree} vs unicast {unicast}")
+    print(f"multicast: position broadcast {tree} link bytes (tree) vs "
+          f"{unicast} (unicast), saved {unicast - tree}")
+
+    # And on synthetic fan-out: the tree never loses to unicast.
+    topo = TorusTopology((4, 4, 4))
+    rng = np.random.default_rng(5)
+    for _ in range(50):
+        src = int(rng.integers(0, topo.n_nodes))
+        dsts = rng.choice(
+            [d for d in range(topo.n_nodes) if d != src],
+            size=int(rng.integers(1, 10)), replace=False,
+        ).astype(np.int64)
+        tree_edges = len(multicast_tree_links(topo, src, dsts))
+        hops = int(topo.hop_distances(np.full(dsts.shape, src), dsts).sum())
+        if tree_edges > hops:
+            fail(f"tree {tree_edges} edges exceeds unicast {hops} hops")
+
+
+def check_congestion_monotone(router) -> None:
+    scales = (1.0, 0.5, 0.2, 0.05)
+    times = [
+        router.step_comm_us(
+            steps=STEPS, congestion=CongestionModel(bandwidth_scale=s)
+        )
+        for s in scales
+    ]
+    for a, b in zip(times, times[1:]):
+        if not a <= b:
+            fail(f"step comm time not monotone in congestion: {times}")
+    if not times[0] < times[-1]:
+        fail(f"congestion knob has no effect: {times}")
+    print("congestion: step comm us "
+          + " <= ".join(f"{t:.3f}" for t in times)
+          + f" at bandwidth scales {scales}")
+
+
+def check_random_traffic_conservation() -> None:
+    """Same identity on adversarial synthetic traffic with compression."""
+    topo = TorusTopology((4, 2, 8))
+    net = SimNetwork(topo)
+    net.attach_router(LinkRouter(topo, RoutedConfig(delta_bits=16)))
+    rng = np.random.default_rng(9)
+    for _ in range(100):
+        src = int(rng.integers(0, topo.n_nodes))
+        kind = rng.integers(0, 2)
+        if kind == 0:
+            net.send(src, int(rng.integers(0, topo.n_nodes)),
+                     int(rng.integers(1, 4096)), tag="position_import")
+        else:
+            dsts = rng.choice(topo.n_nodes, size=int(rng.integers(1, 6)),
+                              replace=False)
+            net.multicast(src, list(dsts), int(rng.integers(1, 4096)),
+                          tag="position_import")
+    check_conservation(net.router, net.stats)
+
+
+def main() -> int:
+    system = build_system()
+    codes_off, _, stats_off = run(system, routed=False)
+    codes_tree, router_tree, stats_tree = run(system, routed=RoutedConfig())
+    _, router_unicast, _ = run(system, routed=RoutedConfig(multicast="unicast"))
+
+    for a, b in zip(codes_off, codes_tree):
+        if not np.array_equal(a, b):
+            fail("routed run diverged from unrouted run (physics touched!)")
+    if stats_off.hop_bytes != stats_tree.hop_bytes:
+        fail("flat hop_bytes changed with routing attached")
+    print(f"physics: routed == unrouted state codes over {STEPS} steps "
+          f"({N_NODES} nodes)")
+
+    check_conservation(router_tree, stats_tree)
+    check_random_traffic_conservation()
+    check_multicast_savings(router_tree, router_unicast)
+    check_congestion_monotone(router_tree)
+    print("network-model smoke: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

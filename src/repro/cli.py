@@ -9,6 +9,7 @@ submit     submit a job to a running service
 jobs       list jobs on a running service (--watch to follow)
 cancel     cancel a job on a running service
 machine    run the functional multi-node machine and report traffic
+network    routed-fabric link occupancy report / predicted scaling sweep
 perf       print the performance model's Table 2 profile / Figure 5 rate
 traj       inspect, dump, or CRC-verify a trajectory file
 info       version, paper reference, and reproduced-experiment index
@@ -202,7 +203,82 @@ def _add_machine(sub) -> None:
     g.add_argument("--max-retries", type=int, default=3, metavar="N",
                    help="retransmissions per dead message / heartbeat waits per "
                         "silent node before escalating to rollback (default 3)")
+    _add_routed_flags(p)
     _add_store_flags(p, energy_log=False)
+
+
+def _add_routed_flags(p) -> None:
+    g = p.add_argument_group("routed network fabric (accounting only — "
+                             "bits never change)")
+    g.add_argument("--routed", action="store_true",
+                   help="expand every message into dimension-ordered per-link "
+                        "traversals and report link occupancy/congestion")
+    g.add_argument("--multicast", choices=("tree", "unicast"), default="tree",
+                   help="NT broadcast accounting: spanning-tree edges (default) "
+                        "or one unicast path per destination")
+    g.add_argument("--delta-bits", type=int, default=None, metavar="B",
+                   help="fixed-point delta compression: charge position/force "
+                        "payloads at B bits per 32-bit word (accounting only)")
+
+
+def _routed_config(args):
+    from repro.network import RoutedConfig
+
+    return RoutedConfig(multicast=args.multicast, delta_bits=args.delta_bits)
+
+
+def _print_network_report(report: dict) -> None:
+    dims = "x".join(str(d) for d in report["topology"])
+    print(f"routed fabric: {dims} torus, {report['links']} directed links, "
+          f"{report['steps']} steps "
+          f"(multicast={report['multicast_mode']}, delta_bits={report['delta_bits']})")
+    print(f"{'phase':<18} {'msgs':>8} {'link bytes':>12} {'max link':>10} "
+          f"{'hops':>5} {'us/step':>8}  busiest")
+    for tag, ph in report["phases"].items():
+        busiest = "-"
+        if ph["busiest_link"]:
+            busiest = f"node {ph['busiest_link'][0]} {ph['busiest_link'][1]}"
+        print(f"{tag:<18} {ph['messages']:>8} {ph['link_bytes']:>12} "
+              f"{ph['max_link_bytes']:>10} {ph['max_hops']:>5} "
+              f"{ph['time_us_per_step']:>8.3f}  {busiest}")
+    mc = report["multicast"]
+    if mc["unicast_link_bytes"]:
+        saved_pct = 100.0 * mc["saved_link_bytes"] / mc["unicast_link_bytes"]
+        print(f"multicast: {mc['tree_link_bytes']} tree vs "
+              f"{mc['unicast_link_bytes']} unicast link bytes "
+              f"({saved_pct:.0f}% saved)")
+    if report["compression_saved_link_bytes"]:
+        print(f"compression saved: {report['compression_saved_link_bytes']} link bytes")
+    if report["recovery_link_bytes"]:
+        print(f"recovery link bytes (segregated): {report['recovery_link_bytes']}")
+    print(f"comm critical path: {report['comm_us_per_step']:.3f} us/step "
+          f"(max link load: {report['max_link_bytes']} bytes)")
+
+
+def _add_network(sub) -> None:
+    p = sub.add_parser(
+        "network",
+        help="routed-fabric link report (functional run) or predicted "
+             "512-4096 node scaling sweep (--predict)",
+    )
+    p.add_argument("--nodes", type=int, default=8,
+                   help="power-of-two node count for the functional run")
+    p.add_argument("--waters", type=int, default=32)
+    p.add_argument("--steps", type=int, default=8)
+    p.add_argument("--backend", choices=("serial", "vectorized", "process"),
+                   default="vectorized")
+    p.add_argument("--multicast", choices=("tree", "unicast"), default="tree")
+    p.add_argument("--delta-bits", type=int, default=None, metavar="B")
+    p.add_argument("--json", action="store_true", help="print the report as JSON")
+    g = p.add_argument_group("analytic prediction (no functional stepping)")
+    g.add_argument("--predict", action="store_true",
+                   help="sweep the congested critical-path model over "
+                        "--node-counts for a Table 4 system")
+    g.add_argument("--system", default="DHFR", help="Table 4 name (with --predict)")
+    g.add_argument("--node-counts", default="512,1024,2048,4096", metavar="LIST",
+                   help="comma-separated node counts (with --predict)")
+    g.add_argument("--bandwidth-scale", type=float, default=1.0, metavar="S",
+                   help="scale usable link bandwidth (S < 1 injects congestion)")
 
 
 def _add_traj(sub) -> None:
@@ -457,6 +533,7 @@ def cmd_machine(args) -> int:
     machine = AntonMachine(
         base.copy(), params, n_nodes=args.nodes, dt=1.0, backend=args.backend,
         kernel_tier=args.kernel_tier, kernel_threads=args.kernel_threads,
+        routed=_routed_config(args) if args.routed else False,
         **fault_kwargs,
     )
     steps = args.steps
@@ -493,6 +570,8 @@ def cmd_machine(args) -> int:
     print(f"messages/node/step: {machine.messages_per_node_per_step():.1f}")
     for tag, (msgs, nbytes) in sorted(machine.traffic_summary().items()):
         print(f"  {tag:<20} {msgs:>8} msgs {nbytes:>12} bytes")
+    if args.routed:
+        _print_network_report(machine.network_report())
     if args.faults:
         report = machine.fault_report()
         recovery = machine.recovery_traffic_summary()
@@ -582,6 +661,60 @@ def cmd_traj(args) -> int:
                 print(f"  {err}")
             print("verify: PASS" if report.ok else "verify: FAIL")
             return 0 if report.ok else 1
+    return 0
+
+
+def cmd_network(args) -> int:
+    import json
+
+    from repro.network import RoutedConfig
+
+    config = RoutedConfig(multicast=args.multicast, delta_bits=args.delta_bits)
+    if args.predict:
+        from repro import PerformanceModel
+        from repro.network import CongestionModel
+        from repro.systems import benchmark_by_name
+
+        spec = benchmark_by_name(args.system)
+        node_counts = tuple(int(x) for x in args.node_counts.split(","))
+        congestion = CongestionModel(bandwidth_scale=args.bandwidth_scale)
+        pm = PerformanceModel()
+        rows = pm.anton_routed_scaling(
+            spec, node_counts=node_counts, config=config, congestion=congestion
+        )
+        if args.json:
+            print(json.dumps(rows, indent=2, default=float))
+            return 0
+        print(f"{spec.name}: predicted scaling, congested critical-path model "
+              f"(bandwidth scale {args.bandwidth_scale})")
+        print(f"{'nodes':>6} {'short us':>9} {'long us':>8} {'step us':>8} "
+              f"{'us/day routed':>14} {'us/day counter':>15} {'mcast saved':>12}")
+        for r in rows:
+            print(f"{r['n_nodes']:>6} {r['short_comm_us']:>9.2f} "
+                  f"{r['long_comm_us']:>8.2f} {r['step_us_routed']:>8.2f} "
+                  f"{r['us_per_day_routed']:>14.2f} {r['us_per_day_counter']:>15.2f} "
+                  f"{r['multicast']['saved_link_bytes']:>12}")
+        return 0
+
+    from repro import AntonMachine, MDParams, minimize_energy
+    from repro.systems import build_water_box
+
+    base = build_water_box(n_molecules=args.waters, seed=7)
+    cutoff = min(4.5, base.box.max_cutoff() * 0.9)
+    params = MDParams(cutoff=cutoff, mesh=(16, 16, 16), quantize_mesh_bits=40)
+    minimize_energy(base, params, max_steps=40)
+    base.initialize_velocities(300.0, seed=8)
+    machine = AntonMachine(
+        base, params, n_nodes=args.nodes, dt=1.0, backend=args.backend,
+        routed=config,
+    )
+    machine.step(args.steps)
+    report = machine.network_report()
+    if args.json:
+        print(json.dumps(report, indent=2, default=float))
+    else:
+        _print_network_report(report)
+    machine.close()
     return 0
 
 
@@ -739,6 +872,7 @@ def main(argv: list[str] | None = None) -> int:
     _add_ensemble(sub)
     _add_serve(sub)
     _add_machine(sub)
+    _add_network(sub)
     _add_traj(sub)
     _add_perf(sub)
     sub.add_parser("info", help="version and experiment index")
@@ -751,6 +885,7 @@ def main(argv: list[str] | None = None) -> int:
         "jobs": cmd_jobs,
         "cancel": cmd_cancel,
         "machine": cmd_machine,
+        "network": cmd_network,
         "traj": cmd_traj,
         "perf": cmd_perf,
         "info": cmd_info,

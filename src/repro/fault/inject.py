@@ -84,8 +84,8 @@ class FaultyNetwork(SimNetwork):
         ):
             self._ledger.record(tag, src, dst, nbytes)
 
-    def send_batch(self, src, dst, nbytes, tag, retransmit=False):
-        super().send_batch(src, dst, nbytes, tag, retransmit=retransmit)
+    def send_batch(self, src, dst, nbytes, tag, retransmit=False, route=True):
+        super().send_batch(src, dst, nbytes, tag, retransmit=retransmit, route=route)
         if self._ledger is not None and not retransmit and not self.in_recovery:
             src = np.asarray(src, dtype=np.int64)
             dst = np.asarray(dst, dtype=np.int64)

@@ -248,8 +248,15 @@ class SerialBackend(MachineBackend):
         return e_k
 
     def account_position_import(self, machine) -> None:
+        # Each occupied source box broadcasts its atoms to every node
+        # whose tower/plate imports it — one multicast per source.  The
+        # charged statistics equal the old per-route ``send`` loop
+        # (multicast batches the same routes); grouping by source is
+        # what lets an attached router model the NT broadcast as a
+        # spanning tree instead of per-destination unicast paths.
         counts = machine._node_occupancy()
         reach = machine.params.cutoff + machine.migration.import_margin()
+        dsts_of: dict[int, list[int]] = {}
         for node in range(machine.topology.n_nodes):
             tower, plate = tower_plate_boxes(
                 machine.decomp, machine.topology.coord(node), reach
@@ -258,12 +265,14 @@ class SerialBackend(MachineBackend):
                 src = machine.topology.node_id(bx)
                 if src == node or counts[src] == 0:
                     continue
-                machine.network.send(
-                    src,
-                    node,
-                    int(counts[src]) * machine.hw.bytes_per_position,
-                    tag="position_import",
-                )
+                dsts_of.setdefault(src, []).append(node)
+        for src in sorted(dsts_of):
+            machine.network.multicast(
+                src,
+                dsts_of[src],
+                int(counts[src]) * machine.hw.bytes_per_position,
+                tag="position_import",
+            )
 
     def account_force_export(self, machine, pair_nodes, i, j) -> None:
         for atoms in (i, j):
@@ -420,7 +429,10 @@ class VectorizedBackend(MachineBackend):
         src, dst = self._import_route_arrays(machine)
         nbytes = counts[src] * machine.hw.bytes_per_position
         occupied = nbytes > 0
-        machine.network.send_batch(
+        # multicast_routes == send_batch for the flat statistics; an
+        # attached router additionally groups the routes by source into
+        # NT broadcast trees (matching the serial backend's grouping).
+        machine.network.multicast_routes(
             src[occupied], dst[occupied], nbytes[occupied], tag="position_import"
         )
 

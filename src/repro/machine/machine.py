@@ -39,6 +39,7 @@ from repro.io import TrajectoryWriter, check_fingerprint, system_fingerprint
 from repro.machine.backends import MachineBackend, make_backend
 from repro.machine.config import ANTON_2008, AntonHardware
 from repro.machine.flexible import assign_bond_terms, correction_pairs_per_node
+from repro.network import LinkRouter, RoutedConfig
 from repro.parallel import (
     MigrationSchedule,
     SimNetwork,
@@ -274,6 +275,14 @@ class AntonMachine:
     recovery:
         Optional :class:`~repro.fault.RecoveryPolicy` overriding the
         default retry/backoff/snapshot knobs.
+    routed:
+        Enable the routed network fabric: every charged message is also
+        expanded into dimension-ordered per-link traversals
+        (:class:`repro.network.LinkRouter`), feeding
+        :meth:`network_report` and ``profile()["network"]``.  Pass a
+        :class:`repro.network.RoutedConfig` to set multicast mode or
+        delta compression.  Accounting only — trajectories, checkpoints,
+        and the flat traffic counters are bitwise unchanged.
     """
 
     def __init__(
@@ -295,6 +304,7 @@ class AntonMachine:
         faults=None,
         fault_seed: int = 0,
         recovery: RecoveryPolicy | None = None,
+        routed=False,
     ):
         if params.quantize_mesh_bits is None:
             params = replace(params, quantize_mesh_bits=40)
@@ -310,6 +320,11 @@ class AntonMachine:
         self.network = (
             FaultyNetwork(self.topology) if faults is not None else SimNetwork(self.topology)
         )
+        self.router = None
+        if routed:
+            config = routed if isinstance(routed, RoutedConfig) else None
+            self.router = LinkRouter(self.topology, config, hw)
+            self.network.attach_router(self.router)
         self.decomp = SpatialDecomposition(system.box, self.topology, subbox_divisions)
         self.migration = MigrationSchedule(
             self.decomp, system.topology, interval=migration_interval
@@ -367,7 +382,9 @@ class AntonMachine:
             self.backend.account_position_import(self)
             # Bond destinations: atoms' positions sent to remote term
             # nodes.  Charged as aggregate volume (sources and
-            # destinations are adjacent by construction).
+            # destinations are adjacent by construction) with no hop
+            # weighting, so it deliberately bypasses the router — the
+            # per-link sums stay an exact decomposition of hop_bytes.
             n_msgs = self.bond_assignment.destination_messages(self.owners)
             if n_msgs:
                 stats = self.network.stats
@@ -395,6 +412,9 @@ class AntonMachine:
                 self.dfft._charge_axis_phase(axis)
 
     def account_migration(self, n_migrated: int) -> None:
+        # Aggregate volume with no routes or hop weighting (migrating
+        # atoms move to an adjacent box); bypasses the router like the
+        # bond-destination charge above.
         self.network.stats.messages += n_migrated
         self.network.stats.bytes += n_migrated * 64
         self.network.stats.charge_tag("migration", n_migrated, n_migrated * 64)
@@ -619,6 +639,17 @@ class AntonMachine:
             "retransmit_by_tag": dict(primary.by_tag_retransmit),
         }
 
+    def network_report(self, top: int = 3) -> dict:
+        """Routed-fabric occupancy and congestion, per step so far.
+
+        Requires ``routed=True`` at construction.  Per-phase critical
+        links, multicast/compression savings, and the congested
+        communication time (see :meth:`repro.network.LinkRouter.report`).
+        """
+        if self.router is None:
+            raise ValueError("machine was built without routed=True")
+        return self.router.report(steps=max(self.integrator.step_count, 1), top=top)
+
     def fault_report(self) -> dict[str, int]:
         """Fault/retry/rollback counters (empty without injection)."""
         if self.fault_controller is None:
@@ -658,6 +689,8 @@ class AntonMachine:
         out = self.calc.timers.profile("machine_step", self.integrator.step_count)
         out["kernel_tier"] = self.backend.kernels.tier
         out["kernel_threads"] = getattr(self.backend.kernels, "threads", 1)
+        if self.router is not None:
+            out["network"] = self.network_report()
         if self.fault_controller is not None:
             out["faults"] = self.fault_report()
             out["recovery_traffic"] = {

@@ -1,0 +1,34 @@
+"""Routed torus network fabric: link-level accounting behind SimNetwork.
+
+Timing/accounting layer only — attaching a router never changes
+simulation state, flat traffic counters, trajectories, or checkpoints.
+"""
+
+from repro.network.fabric import CongestionModel, LinkLoad, LinkRouter, RoutedConfig
+from repro.network.routing import (
+    DIRECTION_NAMES,
+    N_DIRECTIONS,
+    accumulate_link_loads,
+    link_direction,
+    link_node,
+    message_link_ids,
+    multicast_tree_links,
+    n_links,
+    signed_axis_hops,
+)
+
+__all__ = [
+    "CongestionModel",
+    "LinkLoad",
+    "LinkRouter",
+    "RoutedConfig",
+    "DIRECTION_NAMES",
+    "N_DIRECTIONS",
+    "accumulate_link_loads",
+    "link_direction",
+    "link_node",
+    "message_link_ids",
+    "multicast_tree_links",
+    "n_links",
+    "signed_axis_hops",
+]

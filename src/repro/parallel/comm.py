@@ -82,9 +82,28 @@ class SimNetwork:
         self.topology = topology
         self.stats = NetworkStats(topology.n_nodes)
         self._mailboxes: dict[tuple[int, str], list] = {}
+        #: Optional link-level router (:class:`repro.network.LinkRouter`).
+        self.router = None
 
     def reset_stats(self) -> None:
         self.stats = NetworkStats(self.topology.n_nodes)
+
+    def attach_router(self, router) -> None:
+        """Attach a routed-fabric accounting layer.
+
+        Every subsequent charge is *also* expanded into per-link
+        traversals by the router.  Strictly additive: the flat
+        :class:`NetworkStats` counters, payload delivery, and therefore
+        all simulation state are bitwise unchanged by attaching one.
+        """
+        self.router = router
+
+    @property
+    def in_recovery(self) -> bool:
+        """Whether charges currently land in a recovery pool.  The base
+        network has no fault layer; :class:`~repro.fault.inject.FaultyNetwork`
+        overrides this during rollback replay."""
+        return False
 
     def send(
         self, src: int, dst: int, nbytes: int, tag: str, payload=None, retransmit: bool = False
@@ -102,6 +121,8 @@ class SimNetwork:
         s = self.stats
         if retransmit:
             s.charge_retransmit(tag, 1, nbytes)
+            if self.router is not None:
+                self.router.charge(src, dst, nbytes, tag, recovery=True)
             return
         s.messages += 1
         s.bytes += int(nbytes)
@@ -109,6 +130,8 @@ class SimNetwork:
         s.per_node_messages[src] += 1
         s.per_node_bytes[src] += int(nbytes)
         s.charge_tag(tag, 1, nbytes)
+        if self.router is not None:
+            self.router.charge(src, dst, nbytes, tag, recovery=self.in_recovery)
         if payload is not None:
             self._mailboxes.setdefault((dst, tag), []).append(payload)
 
@@ -119,6 +142,7 @@ class SimNetwork:
         nbytes: np.ndarray,
         tag: str,
         retransmit: bool = False,
+        route: bool = True,
     ) -> None:
         """Charge an array of messages in one call (no payloads).
 
@@ -127,7 +151,8 @@ class SimNetwork:
         weighting uses the torus metric — but reduces with bincounts
         instead of a Python loop per message.  ``retransmit=True``
         charges the whole batch to the retransmit counters instead of
-        the primary ones.
+        the primary ones.  ``route=False`` skips the attached router
+        (multicast entry points charge tree links themselves).
         """
         src = np.asarray(src, dtype=np.int64)
         dst = np.asarray(dst, dtype=np.int64)
@@ -141,6 +166,8 @@ class SimNetwork:
         total = int(np.sum(nbytes))
         if retransmit:
             s.charge_retransmit(tag, len(src), total)
+            if route and self.router is not None:
+                self.router.charge_batch(src, dst, nbytes, tag, recovery=True)
             return
         s.messages += len(src)
         s.bytes += total
@@ -149,6 +176,8 @@ class SimNetwork:
         s.per_node_messages += np.bincount(src, minlength=n)
         np.add.at(s.per_node_bytes, src, nbytes)
         s.charge_tag(tag, len(src), total)
+        if route and self.router is not None:
+            self.router.charge_batch(src, dst, nbytes, tag, recovery=self.in_recovery)
 
     def multicast(self, src: int, dsts: list[int], nbytes: int, tag: str, payload=None) -> None:
         """Send the same payload to several destinations.
@@ -156,10 +185,47 @@ class SimNetwork:
         Models Anton's multicast mechanism, "which sends all atoms in a
         given subbox to the same set of nodes" (Section 3.2.1) — one
         message per destination is still charged, since each traverses
-        its own final link.
+        its own final link.  The destination fan-out is charged through
+        a single ``send_batch`` call (payload delivery is unchanged),
+        so large NT broadcasts don't pay per-message Python overhead;
+        an attached router carries the payload once per multicast-tree
+        edge instead of once per destination path.
         """
-        for dst in dsts:
-            self.send(src, dst, nbytes, tag, payload)
+        dsts_arr = np.atleast_1d(np.asarray(dsts, dtype=np.int64))
+        if payload is not None:
+            for dst in dsts_arr:
+                self._mailboxes.setdefault((int(dst), tag), []).append(payload)
+        if not len(dsts_arr):
+            return
+        self.send_batch(
+            np.full(dsts_arr.shape, src, dtype=np.int64),
+            dsts_arr,
+            np.full(dsts_arr.shape, int(nbytes), dtype=np.int64),
+            tag,
+            route=False,
+        )
+        if self.router is not None:
+            self.router.charge_multicast(
+                src, dsts_arr, int(nbytes), tag, recovery=self.in_recovery
+            )
+
+    def multicast_routes(
+        self, src: np.ndarray, dst: np.ndarray, nbytes: np.ndarray, tag: str
+    ) -> None:
+        """Charge a batch of per-destination broadcast routes.
+
+        Statistics are exactly those of :meth:`send_batch` — one
+        charged message per destination, since each traverses its own
+        final link — but rows sharing a source are one payload fanned
+        out to many nodes (the NT subbox broadcast), so an attached
+        router charges each source's spanning tree instead of one
+        unicast path per destination.
+        """
+        self.send_batch(src, dst, nbytes, tag, route=False)
+        if self.router is not None:
+            self.router.charge_multicast_routes(
+                src, dst, nbytes, tag, recovery=self.in_recovery
+            )
 
     def receive(self, node: int, tag: str) -> list:
         """Drain the mailbox for (node, tag); returns payloads in

@@ -97,6 +97,60 @@ class PerformanceModel:
             )
         return self.anton.us_per_day(w, n_nodes=n_nodes, long_range_every=long_range_every)
 
+    def anton_routed_prediction(
+        self,
+        spec,
+        n_nodes: int = 512,
+        long_range_every: int = 2,
+        config=None,
+        congestion=None,
+    ) -> dict:
+        """Figure 5 prediction with the routed fabric on the critical path.
+
+        Synthesizes one step's traffic on the n-node torus
+        (:func:`repro.network.predict.predict_comm`), takes the
+        congested per-phase critical paths, and composes them with the
+        calibrated compute model.  Returns the communication breakdown
+        plus ``us_per_day_routed`` and the counter-model
+        ``us_per_day_counter`` (compute only, communication assumed
+        hidden) for shape comparison.
+        """
+        from repro.network.predict import predict_comm
+
+        comm = predict_comm(
+            spec, n_nodes, config=config, congestion=congestion,
+            long_range_every=long_range_every,
+        )
+        w = workload_from_spec(spec, n_nodes=n_nodes)
+        comm["step_us_routed"] = self.anton.step_us_routed(
+            w, n_nodes, comm["short_comm_us"], comm["long_comm_us"], long_range_every
+        )
+        comm["us_per_day_routed"] = self.anton.us_per_day_routed(
+            w, n_nodes, comm["short_comm_us"], comm["long_comm_us"],
+            long_range_every=long_range_every,
+        )
+        comm["us_per_day_counter"] = self.anton.us_per_day(
+            w, n_nodes=n_nodes, long_range_every=long_range_every
+        )
+        return comm
+
+    def anton_routed_scaling(
+        self,
+        spec,
+        node_counts=(512, 1024, 2048, 4096),
+        long_range_every: int = 2,
+        config=None,
+        congestion=None,
+    ) -> list[dict]:
+        """:meth:`anton_routed_prediction` swept over node counts."""
+        return [
+            self.anton_routed_prediction(
+                spec, n, long_range_every=long_range_every,
+                config=config, congestion=congestion,
+            )
+            for n in node_counts
+        ]
+
     # -- Table 1 -------------------------------------------------------------
 
     def days_to_simulate(self, length_us: float, rate_us_per_day: float) -> float:

@@ -158,3 +158,50 @@ class TestRunStoreCLI:
     def test_traj_missing_file(self, capsys, tmp_path):
         assert main(["traj", "info", str(tmp_path / "nope.rrs")]) == 1
         assert "no such file" in capsys.readouterr().err
+
+
+class TestNetworkCLI:
+    def test_network_functional_report(self, capsys):
+        assert main(["network", "--waters", "12", "--steps", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "routed fabric: 2x2x2 torus, 48 directed links" in out
+        assert "position_import" in out
+        assert "comm critical path" in out
+
+    def test_network_functional_json_conserves(self, capsys):
+        import json
+
+        assert main(["network", "--waters", "12", "--steps", "2", "--json"]) == 0
+        out = capsys.readouterr().out
+        report = json.loads(out[out.index("{"):])
+        assert report["links"] == 48
+        assert report["steps"] == 2
+        assert report["link_bytes_total"] > 0
+        assert set(report["phases"]) >= {"position_import", "force_export"}
+
+    def test_network_unicast_mode_saves_nothing(self, capsys):
+        import json
+
+        assert main(["network", "--waters", "12", "--steps", "2",
+                     "--multicast", "unicast", "--json"]) == 0
+        out = capsys.readouterr().out
+        report = json.loads(out[out.index("{"):])
+        assert report["multicast_saved_link_bytes"] == 0
+        assert report["multicast_mode"] == "unicast"
+        # The comparison totals are still recorded for reporting.
+        assert report["multicast"]["saved_link_bytes"] >= 0
+
+    def test_network_predict_sweep(self, capsys):
+        assert main(["network", "--predict", "--node-counts", "512",
+                     "--bandwidth-scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "predicted scaling" in out
+        assert "us/day routed" in out
+        assert " 512 " in out
+
+    def test_machine_routed_flag_prints_report(self, capsys):
+        assert main(["machine", "--nodes", "8", "--waters", "16", "--steps", "2",
+                     "--routed"]) == 0
+        out = capsys.readouterr().out
+        assert "routed fabric: 2x2x2 torus" in out
+        assert "comm critical path" in out

@@ -1,0 +1,174 @@
+"""Analytic battery for dimension-ordered torus routing.
+
+Closed-form checks that don't depend on the MD stack at all: hop
+counts against the torus metric on asymmetric tori, the deterministic
+tie-break, uniform all-to-all totals against the k-ary n-cube
+formulas, bisection load, and the multicast-tree byte bounds.
+"""
+
+import numpy as np
+import pytest
+
+from repro.network import routing
+from repro.parallel.topology import TorusTopology
+
+
+def all_pairs(topo):
+    n = topo.n_nodes
+    src, dst = np.meshgrid(np.arange(n), np.arange(n), indexing="ij")
+    src, dst = src.ravel(), dst.ravel()
+    remote = src != dst
+    return src[remote], dst[remote]
+
+
+@pytest.mark.parametrize("dims", [(2, 2, 2), (4, 2, 8), (8, 4, 2), (16, 2, 2), (4, 4, 4)])
+class TestHopCounts:
+    def test_path_length_equals_hop_distance(self, dims):
+        """Every message traverses exactly hop_distance links — the
+        identity behind byte conservation."""
+        topo = TorusTopology(dims)
+        src, dst = all_pairs(topo)
+        _, _, hops, _ = routing.signed_axis_hops(topo, src, dst)
+        assert np.array_equal(hops.sum(axis=1), topo.hop_distances(src, dst))
+
+    def test_accumulate_matches_hop_bytes(self, dims):
+        """Summed per-link bytes == sum(nbytes * hops), exactly."""
+        topo = TorusTopology(dims)
+        src, dst = all_pairs(topo)
+        rng = np.random.default_rng(3)
+        nbytes = rng.integers(1, 10_000, size=src.shape)
+        out = np.zeros(routing.n_links(topo), dtype=np.int64)
+        packets = np.zeros(routing.n_links(topo), dtype=np.int64)
+        routing.accumulate_link_loads(topo, src, dst, nbytes, out, packets)
+        assert out.sum() == np.sum(nbytes * topo.hop_distances(src, dst))
+        assert packets.sum() == topo.hop_distances(src, dst).sum()
+
+    def test_message_link_ids_multiplicity(self, dims):
+        topo = TorusTopology(dims)
+        src, dst = all_pairs(topo)
+        links = routing.message_link_ids(topo, src, dst)
+        assert len(links) == topo.hop_distances(src, dst).sum()
+        assert links.min(initial=0) >= 0
+        assert links.max(initial=0) < routing.n_links(topo)
+
+
+class TestTieBreak:
+    def test_half_ring_goes_forward(self):
+        """Distance exactly d/2 routes in the + direction, always."""
+        topo = TorusTopology((8, 2, 2))
+        src = np.array([topo.node_id((0, 0, 0))])
+        dst = np.array([topo.node_id((4, 0, 0))])
+        _, _, hops, forward = routing.signed_axis_hops(topo, src, dst)
+        assert hops[0, 0] == 4 and forward[0, 0]
+        links = routing.message_link_ids(topo, src, dst)
+        # All four traversals use +x links of x = 0, 1, 2, 3.
+        assert np.array_equal(routing.link_direction(links), np.zeros(4))
+        tails = routing.link_node(links)
+        assert sorted(topo.coord(int(t))[0] for t in tails) == [0, 1, 2, 3]
+
+    def test_shorter_way_wraps(self):
+        topo = TorusTopology((8, 2, 2))
+        src = np.array([topo.node_id((1, 0, 0))])
+        dst = np.array([topo.node_id((6, 0, 0))])
+        links = routing.message_link_ids(topo, src, dst)
+        assert len(links) == 3  # 1 -> 0 -> 7 -> 6, not 5 hops forward
+        assert np.all(routing.link_direction(links) == 1)  # all -x
+
+    def test_dimension_order_x_then_y_then_z(self):
+        topo = TorusTopology((4, 4, 4))
+        src = np.array([topo.node_id((0, 0, 0))])
+        dst = np.array([topo.node_id((1, 1, 1))])
+        links = routing.message_link_ids(topo, src, dst)
+        assert [int(d) for d in routing.link_direction(links)] == [0, 2, 4]
+        # The y hop starts from the x-corrected node, the z hop from the
+        # xy-corrected node.
+        tails = [tuple(topo.coord(int(t))) for t in routing.link_node(links)]
+        assert tails == [(0, 0, 0), (1, 0, 0), (1, 1, 0)]
+
+
+def ring_distance_sum(d: int) -> int:
+    """Sum of min-ring distances over all ordered coordinate pairs of a
+    d-ring: d * (d^2/4) for even d, d * (d^2-1)/4 for odd."""
+    return d * (d * d // 4) if d % 2 == 0 else d * (d * d - 1) // 4
+
+
+@pytest.mark.parametrize("dims", [(4, 2, 8), (8, 8, 8), (16, 4, 2)])
+class TestAllToAllClosedForms:
+    def test_total_hops_formula(self, dims):
+        """Uniform all-to-all hop total == textbook per-axis sum."""
+        topo = TorusTopology(dims)
+        src, dst = all_pairs(topo)
+        out = np.zeros(routing.n_links(topo), dtype=np.int64)
+        routing.accumulate_link_loads(topo, src, dst, np.ones_like(src), out)
+        n = topo.n_nodes
+        expected = sum(ring_distance_sum(d) * (n // d) ** 2 for d in dims)
+        assert out.sum() == expected
+
+    def test_bisection_load(self, dims):
+        """Bytes crossing the x-bisection == n^2/2 (every opposite-half
+        pair crosses exactly once under minimal routing)."""
+        topo = TorusTopology(dims)
+        d = dims[0]
+        if d < 4:
+            pytest.skip("x-ring too short to bisect")
+        src, dst = all_pairs(topo)
+        out = np.zeros(routing.n_links(topo), dtype=np.int64)
+        routing.accumulate_link_loads(topo, src, dst, np.ones_like(src), out)
+        # The bisection cuts the x ring between d/2-1 | d/2 and d-1 | 0.
+        node_x = topo.coords_of(routing.link_node(np.arange(routing.n_links(topo))))[:, 0]
+        direction = routing.link_direction(np.arange(routing.n_links(topo)))
+        crossing = (
+            ((direction == 0) & ((node_x == d // 2 - 1) | (node_x == d - 1)))
+            | ((direction == 1) & ((node_x == d // 2) | (node_x == 0)))
+        )
+        n = topo.n_nodes
+        assert out[crossing].sum() == n * n // 2
+
+
+class TestMulticastTree:
+    def setup_method(self):
+        self.topo = TorusTopology((4, 4, 4))
+
+    def tree_and_unicast(self, src, dsts):
+        dsts = np.asarray(dsts, dtype=np.int64)
+        tree = routing.multicast_tree_links(self.topo, src, dsts)
+        hops = self.topo.hop_distances(np.full(dsts.shape, src), dsts)
+        return len(tree), int(hops.sum()), len(dsts)
+
+    def test_tree_bounded_by_unicast_and_dst_count(self):
+        rng = np.random.default_rng(11)
+        src = 0
+        for _ in range(20):
+            dsts = rng.choice(np.arange(1, 64), size=rng.integers(1, 12), replace=False)
+            tree, unicast, n_dsts = self.tree_and_unicast(src, dsts)
+            assert n_dsts <= tree <= unicast
+
+    def test_chain_equality(self):
+        """Destinations forming a chain along the route: every tree edge
+        ends at a destination, so tree bytes == one payload per dst —
+        the flat counter's multicast model, matched exactly.  (The ring
+        must be long enough that the whole chain routes forward.)"""
+        topo = TorusTopology((8, 2, 2))
+        src = topo.node_id((0, 0, 0))
+        chain = np.asarray([topo.node_id((x, 0, 0)) for x in (1, 2, 3)], dtype=np.int64)
+        tree = routing.multicast_tree_links(topo, src, chain)
+        hops = topo.hop_distances(np.full(chain.shape, src), chain)
+        assert len(tree) == len(chain) == 3
+        assert int(hops.sum()) == 1 + 2 + 3  # unicast strictly more
+
+    def test_disjoint_paths_equal_unicast(self):
+        """Edge-disjoint paths: the tree degenerates to unicast."""
+        src = self.topo.node_id((0, 0, 0))
+        dsts = [self.topo.node_id((1, 0, 0)), self.topo.node_id((0, 1, 0)),
+                self.topo.node_id((0, 0, 1))]
+        tree, unicast, n_dsts = self.tree_and_unicast(src, dsts)
+        assert tree == unicast == n_dsts == 3
+
+    def test_non_chain_strictly_between(self):
+        src = self.topo.node_id((0, 0, 0))
+        # Shared x-prefix then a y-branch: not a chain, not disjoint.
+        dsts = [self.topo.node_id((1, 1, 0)), self.topo.node_id((1, 2, 0))]
+        tree, unicast, n_dsts = self.tree_and_unicast(src, dsts)
+        assert n_dsts < tree < unicast
+        # Shared links: the x hop and the first y hop; then one branch hop.
+        assert tree == 3 and unicast == 5

@@ -158,3 +158,62 @@ class TestHeadlineComparisons:
         assert 60 < days_anton < 150
         assert days_cluster / 365 > 25
         assert DESMOND_DHFR_NS_PER_DAY == 471.0
+
+
+class TestRoutedPrediction:
+    """The routed fabric on the critical path of the Figure 5 model."""
+
+    def test_step_composition_without_comm_is_step_us(self, pm):
+        w = pm.dhfr_workload(cutoff=13.0, mesh=64)
+        assert pm.anton.step_us_routed(w, 512, 0.0, 0.0) == pytest.approx(
+            pm.anton.step_us(w, 512)
+        )
+
+    def test_comm_only_binds_when_it_exceeds_compute(self, pm):
+        w = pm.dhfr_workload(cutoff=13.0, mesh=64)
+        base = pm.anton.step_us(w, 512)
+        hidden = pm.anton.step_us_routed(w, 512, short_comm_us=0.01, long_comm_us=0.01)
+        bound = pm.anton.step_us_routed(w, 512, short_comm_us=1e4, long_comm_us=1e4)
+        assert hidden == pytest.approx(base)
+        assert bound > base
+
+    def test_dhfr_anchor_survives_routing(self, pm):
+        """At full link bandwidth the synthesized communication hides
+        under compute, so the routed rate keeps the 16.4 us/day anchor."""
+        out = pm.anton_routed_prediction(benchmark_by_name("DHFR"), n_nodes=512)
+        assert out["us_per_day_routed"] == pytest.approx(16.4, rel=0.03)
+        assert out["us_per_day_routed"] == pytest.approx(out["us_per_day_counter"])
+
+    def test_congestion_slows_the_routed_rate_monotonically(self, pm):
+        from repro.network import CongestionModel
+
+        spec = benchmark_by_name("DHFR")
+        rates = [
+            pm.anton_routed_prediction(
+                spec, n_nodes=512,
+                congestion=CongestionModel(bandwidth_scale=s),
+            )["us_per_day_routed"]
+            for s in (1.0, 0.05, 0.01)
+        ]
+        assert rates[0] > rates[1] > rates[2]
+
+    def test_synthesized_traffic_conserves(self, pm):
+        out = pm.anton_routed_prediction(benchmark_by_name("DHFR"), n_nodes=512)
+        lhs = (
+            out["link_bytes_total"]
+            + out["multicast"]["saved_link_bytes"]
+            + out["compression_saved_link_bytes"]
+        )
+        assert lhs == out["counter_hop_bytes"]
+        assert out["multicast"]["saved_link_bytes"] > 0
+
+    def test_scaling_sweep_shape(self, pm):
+        rows = pm.anton_routed_scaling(
+            benchmark_by_name("DHFR"), node_counts=(512, 1024)
+        )
+        assert [r["n_nodes"] for r in rows] == [512, 1024]
+        for r in rows:
+            assert r["step_us_routed"] > 0
+            assert r["max_link_bytes"] > 0
+        # Per-node traffic shrinks as boxes get smaller.
+        assert rows[1]["max_link_bytes"] < rows[0]["max_link_bytes"]
